@@ -1,0 +1,61 @@
+// Command ngauge is the Netgauge stand-in: it measures LogGP parameters of
+// the simulated fabric through the MPI-level transport, as the paper did
+// on Niagara, and prints the fitted parameter set (optionally a per-size
+// table usable by the PLogGP aggregator).
+//
+// Usage:
+//
+//	ngauge                       # single parameter set
+//	ngauge -table -min 65536 -max 4194304 -o params.tbl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netgauge"
+	"repro/internal/stats"
+)
+
+func main() {
+	table := flag.Bool("table", false, "measure a per-size parameter table")
+	minSize := flag.Int("min", 64<<10, "smallest size for -table")
+	maxSize := flag.Int("max", 4<<20, "largest size for -table")
+	iters := flag.Int("iters", 20, "measured iterations per experiment")
+	out := flag.String("o", "", "output file for -table (default stdout)")
+	flag.Parse()
+
+	cfg := netgauge.Config{Iters: *iters}
+
+	if !*table {
+		p, err := netgauge.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngauge: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("measured (through MPI transport): %v\n", p)
+		return
+	}
+
+	tb, err := netgauge.MeasureTable(cfg, stats.PowersOfTwo(*minSize, *maxSize))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngauge: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngauge: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, "# size L(ns) os(ns) or(ns) g(ns) G(ns/B)")
+	if _, err := tb.WriteTo(w); err != nil {
+		fmt.Fprintf(os.Stderr, "ngauge: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command partbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	partbench -experiment fig8            # one experiment, full scale
+//	partbench -experiment all -quick      # smoke-run everything
+//	partbench -list                       # enumerate experiments
+//	partbench -experiment fig9 -csv out/  # also write CSV per table
+//
+// Each experiment prints the rows/series of the corresponding figure or
+// table of "A Dynamic Network-Native MPI Partitioned Aggregation Over
+// InfiniBand Verbs" (CLUSTER 2023); see EXPERIMENTS.md for the
+// paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id (fig3, table1, fig6..fig14, or 'all')")
+	quick := flag.Bool("quick", false, "reduced sizes and iteration counts")
+	list := flag.Bool("list", false, "list experiments and exit")
+	verbose := flag.Bool("v", false, "print progress while running")
+	csvDir := flag.String("csv", "", "directory to also write one CSV per table")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			desc, _ := experiments.Describe(name)
+			fmt.Printf("%-8s %s\n", name, desc)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "partbench: -experiment required (or -list); e.g. -experiment fig8")
+		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	cfg := experiments.Config{Quick: *quick}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	for _, name := range names {
+		run, ok := experiments.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "partbench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		desc, _ := experiments.Describe(name)
+		fmt.Printf("# %s: %s\n", name, desc)
+		start := time.Now()
+		tables, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for i, tb := range tables {
+			if err := tb.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, name, i, tb); err != nil {
+					fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("# %s done in %v (wall)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, name string, idx int, tb *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file := name
+	if idx > 0 {
+		file = fmt.Sprintf("%s-%d", name, idx)
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(file, "/", "_")+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.WriteCSV(f)
+}

@@ -1,0 +1,237 @@
+// Package bench implements the micro-benchmarks the paper evaluates with —
+// the public MPI Partitioned benchmark suite of Temuçin et al. (ICPP'22,
+// reference [14]) that Section V builds on:
+//
+//   - the overhead benchmark (Section V-B): no injected noise, one user
+//     partition per thread, measuring wire efficiency per round;
+//   - the perceived-bandwidth benchmark (Section V-C): each thread
+//     computes (with injected noise on a single laggard thread — the
+//     "single thread delay model"), marks its partition ready, and the
+//     metric is total bytes divided by the latency between the last
+//     MPI_Pready and receive-side completion;
+//   - the Sweep3D communication pattern (Section V-D): a 2-D wavefront
+//     over a rank grid with partitioned sends east and south.
+//
+// Benchmarks follow the paper's protocol: warm-up iterations are discarded
+// and one user partition is assigned to each thread.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+)
+
+// P2PConfig describes one point-to-point benchmark run (two ranks on two
+// nodes, as on Niagara).
+type P2PConfig struct {
+	// Parts is the user partition count == thread count (paper protocol).
+	Parts int
+	// Bytes is the total buffer size.
+	Bytes int
+	// Compute is per-thread computation before Pready (0 for the overhead
+	// benchmark).
+	Compute time.Duration
+	// NoisePct delays the laggard thread by Compute*NoisePct/100 — the
+	// single-thread delay model (e.g. 100 ms compute, 4 % noise = 4 ms).
+	NoisePct float64
+	// JitterPerThread adds deterministic pseudo-random skew to every
+	// non-laggard thread's compute time, uniform in
+	// [0, JitterPerThread * Parts) — the natural OS/OpenMP scheduling
+	// noise that makes real arrival patterns spread (the paper's
+	// Figures 10 and 12 depend on it). Zero means no jitter, as in the
+	// overhead benchmark.
+	JitterPerThread time.Duration
+	// Laggard selects the delayed thread; -1 (and the zero value via
+	// DefaultLaggard) selects the last thread.
+	Laggard int
+	// Warmup and Iters follow the paper: 10 warm-up, 100 measured for
+	// point-to-point (zero values select those).
+	Warmup int
+	Iters  int
+	// Opts selects the aggregation strategy under test.
+	Opts core.Options
+	// Cluster overrides the machine (nil selects two Niagara nodes).
+	Cluster *cluster.Config
+}
+
+func (c P2PConfig) withDefaults() P2PConfig {
+	if c.Warmup == 0 {
+		c.Warmup = 10
+	}
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.Laggard == 0 {
+		c.Laggard = -1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c P2PConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.Parts < 1:
+		return fmt.Errorf("bench: Parts %d must be positive", c.Parts)
+	case c.Bytes < c.Parts || c.Bytes%c.Parts != 0:
+		return fmt.Errorf("bench: Bytes %d not divisible into %d partitions", c.Bytes, c.Parts)
+	case c.Compute < 0 || c.NoisePct < 0 || c.JitterPerThread < 0:
+		return fmt.Errorf("bench: negative compute, noise, or jitter")
+	case c.Iters < 1 || c.Warmup < 0:
+		return fmt.Errorf("bench: bad iteration counts warmup=%d iters=%d", c.Warmup, c.Iters)
+	}
+	return nil
+}
+
+// P2PResult holds per-measured-iteration observations.
+type P2PResult struct {
+	// IterTimes is receiver-observed time per round: from the
+	// synchronized round start to all partitions arrived.
+	IterTimes []time.Duration
+	// LastLatency is the time from the last MPI_Pready to receive-side
+	// completion — the perceived-bandwidth denominator.
+	LastLatency []time.Duration
+	// Profile is the sender-side arrival recording (includes warm-up
+	// rounds; index with Warmup offset).
+	Profile *profiler.Recorder
+	// Warmup echoes the warm-up count used.
+	Warmup int
+	// Bytes echoes the buffer size.
+	Bytes int
+	// FabricMessages is the sender port's total message count (wire
+	// efficiency).
+	FabricMessages int64
+}
+
+// MeanIterTime returns the mean round time.
+func (r P2PResult) MeanIterTime() time.Duration {
+	var sum time.Duration
+	for _, d := range r.IterTimes {
+		sum += d
+	}
+	if len(r.IterTimes) == 0 {
+		return 0
+	}
+	return sum / time.Duration(len(r.IterTimes))
+}
+
+// MeanPerceivedBandwidth returns bytes per second perceived by the
+// application: total bytes over the last-partition latency.
+func (r P2PResult) MeanPerceivedBandwidth() float64 {
+	if len(r.LastLatency) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range r.LastLatency {
+		sum += float64(r.Bytes) / d.Seconds()
+	}
+	return sum / float64(len(r.LastLatency))
+}
+
+// laggardDelay returns the extra delay of the laggard thread.
+func (c P2PConfig) laggardDelay() time.Duration {
+	return time.Duration(float64(c.Compute) * c.NoisePct / 100)
+}
+
+// RunP2P executes the point-to-point benchmark and returns per-iteration
+// measurements.
+func RunP2P(cfg P2PConfig) (P2PResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return P2PResult{}, err
+	}
+	clCfg := cluster.NiagaraConfig(2)
+	if cfg.Cluster != nil {
+		clCfg = *cfg.Cluster
+	}
+	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
+	engines := []*core.Engine{core.NewEngine(w.Rank(0)), core.NewEngine(w.Rank(1))}
+
+	rec := profiler.New(cfg.Parts)
+	opts := cfg.Opts
+	opts.Observer = rec
+
+	laggard := cfg.Laggard
+	if laggard < 0 || laggard >= cfg.Parts {
+		laggard = cfg.Parts - 1
+	}
+
+	total := cfg.Warmup + cfg.Iters
+	res := P2PResult{Profile: rec, Warmup: cfg.Warmup, Bytes: cfg.Bytes}
+	jitterRng := rand.New(rand.NewSource(0x5eed))
+	jitterSpan := cfg.JitterPerThread * time.Duration(cfg.Parts)
+	// roundStart and lastPready are written by the sender side and read by
+	// the receiver after completion; the engine serializes access.
+	var roundStart, lastPready sim.Time
+
+	sendBuf := make([]byte, cfg.Bytes)
+	recvBuf := make([]byte, cfg.Bytes)
+
+	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		switch r.ID() {
+		case 0:
+			ps, err := engines[0].PsendInit(p, sendBuf, cfg.Parts, 1, 0, opts)
+			if err != nil {
+				panic(err)
+			}
+			for iter := 0; iter < total; iter++ {
+				r.Barrier(p)
+				roundStart = p.Now()
+				ps.Start(p)
+				g := sim.NewGroup(p.Engine())
+				for t := 0; t < cfg.Parts; t++ {
+					t := t
+					g.Add(1)
+					jitter := time.Duration(0)
+					if jitterSpan > 0 {
+						jitter = time.Duration(jitterRng.Int63n(int64(jitterSpan)))
+					}
+					p.Engine().Spawn("sender-thread", func(tp *sim.Proc) {
+						defer g.Done()
+						compute := cfg.Compute + jitter
+						if t == laggard {
+							compute += cfg.laggardDelay()
+						}
+						if compute > 0 {
+							r.Compute(tp, compute)
+						}
+						ps.Pready(tp, t)
+						if tp.Now() > lastPready {
+							lastPready = tp.Now()
+						}
+					})
+				}
+				g.Wait(p)
+				ps.Wait(p)
+			}
+		case 1:
+			pr, err := engines[1].PrecvInit(p, recvBuf, cfg.Parts, 0, 0, opts)
+			if err != nil {
+				panic(err)
+			}
+			for iter := 0; iter < total; iter++ {
+				r.Barrier(p)
+				lastPready = 0
+				pr.Start(p)
+				pr.Wait(p)
+				if iter >= cfg.Warmup {
+					now := p.Now()
+					res.IterTimes = append(res.IterTimes, now.Sub(roundStart))
+					res.LastLatency = append(res.LastLatency, now.Sub(lastPready))
+				}
+			}
+		}
+	})
+	if err != nil {
+		return P2PResult{}, err
+	}
+	res.FabricMessages = w.Rank(0).Node().HCA.Port().MessagesSent()
+	return res, nil
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// SweepConfig describes the Sweep3D communication pattern of Section V-D:
+// ranks form a 2-D grid; a wavefront starts at the north-west corner, and
+// each rank receives partitioned messages from its west and north
+// neighbours, computes with one thread per partition, and sends east and
+// south. The paper runs it at 1024 cores: 16 threads x 64 nodes.
+type SweepConfig struct {
+	// GridX and GridY shape the rank grid (one rank per node).
+	GridX int
+	GridY int
+	// Threads is threads == user partitions per rank (paper: 16).
+	Threads int
+	// Bytes is the per-neighbour message size.
+	Bytes int
+	// Compute is per-thread computation per wavefront step.
+	Compute time.Duration
+	// NoisePct delays one laggard thread by Compute*NoisePct/100.
+	NoisePct float64
+	// Warmup and Iters follow the paper's sweep protocol: 3 warm-up, 10
+	// measured (zero values select those).
+	Warmup int
+	Iters  int
+	// Opts selects the aggregation strategy under test.
+	Opts core.Options
+	// CoresPerNode overrides the node size (zero selects Niagara's 40).
+	CoresPerNode int
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Warmup == 0 {
+		c.Warmup = 3
+	}
+	if c.Iters == 0 {
+		c.Iters = 10
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 40
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c SweepConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.GridX < 1 || c.GridY < 1:
+		return fmt.Errorf("bench: sweep grid %dx%d invalid", c.GridX, c.GridY)
+	case c.Threads < 1:
+		return fmt.Errorf("bench: sweep needs at least one thread")
+	case c.Bytes < c.Threads || c.Bytes%c.Threads != 0:
+		return fmt.Errorf("bench: Bytes %d not divisible into %d partitions", c.Bytes, c.Threads)
+	case c.Compute < 0 || c.NoisePct < 0:
+		return fmt.Errorf("bench: negative compute or noise")
+	}
+	return nil
+}
+
+// SweepResult holds the per-iteration wavefront times.
+type SweepResult struct {
+	// IterTimes is the full wavefront time per measured iteration.
+	IterTimes []time.Duration
+	// CriticalCompute is the computation along the wavefront's critical
+	// path per iteration (subtracted to isolate communication time, as
+	// the paper does for Figure 14).
+	CriticalCompute time.Duration
+}
+
+// MeanCommTime returns mean(IterTimes) - CriticalCompute, clamped at a
+// nanosecond to keep speedup ratios well-defined.
+func (r SweepResult) MeanCommTime() time.Duration {
+	if len(r.IterTimes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.IterTimes {
+		sum += d
+	}
+	mean := sum / time.Duration(len(r.IterTimes))
+	comm := mean - r.CriticalCompute
+	if comm < time.Nanosecond {
+		comm = time.Nanosecond
+	}
+	return comm
+}
+
+// sweepRank is the per-rank request set.
+type sweepRank struct {
+	sendE, sendS *core.Psend
+	recvW, recvN *core.Precv
+}
+
+// RunSweep executes the sweep pattern and returns per-iteration times.
+func RunSweep(cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return SweepResult{}, err
+	}
+	nodes := cfg.GridX * cfg.GridY
+	clCfg := cluster.NiagaraConfig(nodes)
+	clCfg.CoresPerNode = cfg.CoresPerNode
+	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
+
+	engines := make([]*core.Engine, nodes)
+	for i := 0; i < nodes; i++ {
+		engines[i] = core.NewEngine(w.Rank(i))
+	}
+
+	// Tags distinguish the two directions.
+	const (
+		tagEast  = 1
+		tagSouth = 2
+	)
+	rankOf := func(x, y int) int { return y*cfg.GridX + x }
+
+	total := cfg.Warmup + cfg.Iters
+	res := SweepResult{
+		// Wavefront critical path: (GridX-1 + GridY-1 + 1) compute steps.
+		CriticalCompute: time.Duration(cfg.GridX+cfg.GridY-1) * cfg.Compute,
+	}
+	var iterStart, iterEnd sim.Time
+	laggard := cfg.Threads - 1
+
+	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		id := r.ID()
+		x, y := id%cfg.GridX, id/cfg.GridX
+		eng := engines[id]
+		var sr sweepRank
+		var err error
+
+		// Persistent buffers per direction.
+		if x < cfg.GridX-1 {
+			buf := make([]byte, cfg.Bytes)
+			if sr.sendE, err = eng.PsendInit(p, buf, cfg.Threads, rankOf(x+1, y), tagEast, cfg.Opts); err != nil {
+				panic(err)
+			}
+		}
+		if y < cfg.GridY-1 {
+			buf := make([]byte, cfg.Bytes)
+			if sr.sendS, err = eng.PsendInit(p, buf, cfg.Threads, rankOf(x, y+1), tagSouth, cfg.Opts); err != nil {
+				panic(err)
+			}
+		}
+		if x > 0 {
+			buf := make([]byte, cfg.Bytes)
+			if sr.recvW, err = eng.PrecvInit(p, buf, cfg.Threads, rankOf(x-1, y), tagEast, cfg.Opts); err != nil {
+				panic(err)
+			}
+		}
+		if y > 0 {
+			buf := make([]byte, cfg.Bytes)
+			if sr.recvN, err = eng.PrecvInit(p, buf, cfg.Threads, rankOf(x, y-1), tagSouth, cfg.Opts); err != nil {
+				panic(err)
+			}
+		}
+
+		for iter := 0; iter < total; iter++ {
+			r.Barrier(p)
+			if id == 0 {
+				iterStart = p.Now()
+			}
+			// Arm all requests for the round.
+			for _, pr := range []*core.Precv{sr.recvW, sr.recvN} {
+				if pr != nil {
+					pr.Start(p)
+				}
+			}
+			for _, ps := range []*core.Psend{sr.sendE, sr.sendS} {
+				if ps != nil {
+					ps.Start(p)
+				}
+			}
+			// Wait for the wavefront to reach this rank.
+			if sr.recvW != nil {
+				sr.recvW.Wait(p)
+			}
+			if sr.recvN != nil {
+				sr.recvN.Wait(p)
+			}
+			// Compute and mark partitions ready toward east and south.
+			g := sim.NewGroup(p.Engine())
+			for t := 0; t < cfg.Threads; t++ {
+				t := t
+				g.Add(1)
+				p.Engine().Spawn("sweep-thread", func(tp *sim.Proc) {
+					defer g.Done()
+					compute := cfg.Compute
+					if t == laggard {
+						compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
+					}
+					if compute > 0 {
+						r.Compute(tp, compute)
+					}
+					if sr.sendE != nil {
+						sr.sendE.Pready(tp, t)
+					}
+					if sr.sendS != nil {
+						sr.sendS.Pready(tp, t)
+					}
+				})
+			}
+			g.Wait(p)
+			for _, ps := range []*core.Psend{sr.sendE, sr.sendS} {
+				if ps != nil {
+					ps.Wait(p)
+				}
+			}
+			// The wavefront completes when the south-east corner finishes.
+			if x == cfg.GridX-1 && y == cfg.GridY-1 {
+				iterEnd = p.Now()
+				if iter >= cfg.Warmup {
+					res.IterTimes = append(res.IterTimes, iterEnd.Sub(iterStart))
+				}
+			}
+		}
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,116 @@
+// Package cluster composes the simulation substrate into compute nodes: a
+// node owns CPU cores (a sim.Resource, so oversubscribed threads stretch
+// exactly as on real hardware) and one host channel adapter on the shared
+// fabric. The default shape mirrors the paper's Niagara system: 40 cores
+// per node on an EDR InfiniBand network.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/ibv"
+	"repro/internal/sim"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// CoresPerNode is the CPU core count per node (Niagara: 40).
+	CoresPerNode int
+	// Quantum is the scheduling timeslice for oversubscribed compute:
+	// threads beyond the core count timeshare in round-robin slices of
+	// this length instead of running to completion, as a preemptive OS
+	// scheduler would. Zero selects 1 ms.
+	Quantum time.Duration
+	// Fabric is the interconnect cost model.
+	Fabric fabric.Config
+}
+
+// NiagaraConfig returns the paper's system shape: 40-core nodes on an
+// EDR-like fabric.
+func NiagaraConfig(nodes int) Config {
+	return Config{
+		Nodes:        nodes,
+		CoresPerNode: 40,
+		Quantum:      time.Millisecond,
+		Fabric:       fabric.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
+	}
+	if c.CoresPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one core per node, got %d", c.CoresPerNode)
+	}
+	if c.Quantum < 0 {
+		return fmt.Errorf("cluster: negative quantum %v", c.Quantum)
+	}
+	return c.Fabric.Validate()
+}
+
+// Node is one compute node.
+type Node struct {
+	ID      int
+	CPU     *sim.Resource
+	HCA     *ibv.HCA
+	quantum time.Duration
+}
+
+// Compute runs d worth of single-core work on the node. Work is consumed
+// in scheduler quanta: when more threads are runnable than cores exist,
+// they round-robin, so oversubscribed threads all finish within roughly
+// one quantum of each other rather than in waves.
+func (n *Node) Compute(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	q := n.quantum
+	if q <= 0 {
+		n.CPU.Use(p, d)
+		return
+	}
+	for d > 0 {
+		slice := q
+		if d < slice {
+			slice = d
+		}
+		n.CPU.Use(p, slice)
+		d -= slice
+	}
+}
+
+// Cluster is a set of nodes on one fabric with one simulation engine.
+type Cluster struct {
+	Engine *sim.Engine
+	Fabric *fabric.Fabric
+	Nodes  []*Node
+	cfg    Config
+}
+
+// New builds a cluster. It panics on invalid configuration.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := sim.NewEngine()
+	f := fabric.New(e, cfg.Fabric)
+	c := &Cluster{Engine: e, Fabric: f, cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:      i,
+			CPU:     sim.NewResource(e, cfg.CoresPerNode),
+			HCA:     ibv.NewHCA(e, f, fmt.Sprintf("node%d", i)),
+			quantum: cfg.Quantum,
+		})
+	}
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }

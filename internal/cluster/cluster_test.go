@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func TestNiagaraConfigShape(t *testing.T) {
+	cfg := NiagaraConfig(64)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 64 || cfg.CoresPerNode != 40 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	for _, cfg := range []Config{
+		{Nodes: 0, CoresPerNode: 1, Fabric: fabric.DefaultConfig()},
+		{Nodes: 1, CoresPerNode: 0, Fabric: fabric.DefaultConfig()},
+		{Nodes: 1, CoresPerNode: 1}, // zero fabric config
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestNewBuildsNodes(t *testing.T) {
+	c := New(NiagaraConfig(3))
+	if len(c.Nodes) != 3 {
+		t.Fatalf("built %d nodes", len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if n.CPU.Servers() != 40 {
+			t.Errorf("node %d has %d cores", i, n.CPU.Servers())
+		}
+		if n.HCA == nil {
+			t.Errorf("node %d missing HCA", i)
+		}
+	}
+	if c.Config().Nodes != 3 {
+		t.Errorf("Config() = %+v", c.Config())
+	}
+}
+
+func TestComputeOversubscription(t *testing.T) {
+	// 80 threads of 1 ms on a 40-core node take 2 ms — the paper's
+	// 128-partition oversubscription effect in miniature.
+	c := New(NiagaraConfig(1))
+	node := c.Nodes[0]
+	var last sim.Time
+	for i := 0; i < 80; i++ {
+		c.Engine.Spawn("t", func(p *sim.Proc) {
+			node.Compute(p, time.Millisecond)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last != sim.Time(2*time.Millisecond) {
+		t.Fatalf("80 threads finished at %v, want 2ms", last)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestQuantumTimeslicing(t *testing.T) {
+	// 80 threads of 10 ms on 40 cores with a 1 ms quantum: all threads
+	// interleave and finish within one quantum of 20 ms, instead of two
+	// 10 ms waves.
+	cfg := NiagaraConfig(1)
+	c := New(cfg)
+	node := c.Nodes[0]
+	var first, last sim.Time
+	first = sim.Time(1 << 62)
+	for i := 0; i < 80; i++ {
+		c.Engine.Spawn("t", func(p *sim.Proc) {
+			node.Compute(p, 10*time.Millisecond)
+			if p.Now() < first {
+				first = p.Now()
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last != sim.Time(20*time.Millisecond) {
+		t.Fatalf("last finish %v, want 20ms (2x stretch)", last)
+	}
+	if spread := last.Sub(first); spread > cfg.Quantum {
+		t.Fatalf("finish spread %v exceeds one quantum %v (wave scheduling?)", spread, cfg.Quantum)
+	}
+}
+
+func TestZeroQuantumRunsToCompletion(t *testing.T) {
+	cfg := NiagaraConfig(1)
+	cfg.Quantum = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg)
+	node := c.Nodes[0]
+	var ends []sim.Time
+	for i := 0; i < 80; i++ {
+		c.Engine.Spawn("t", func(p *sim.Proc) {
+			node.Compute(p, 10*time.Millisecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Run-to-completion: two distinct waves at 10ms and 20ms.
+	if ends[0] != sim.Time(10*time.Millisecond) || ends[79] != sim.Time(20*time.Millisecond) {
+		t.Fatalf("waves = %v .. %v", ends[0], ends[79])
+	}
+}
+
+func TestNegativeQuantumRejected(t *testing.T) {
+	cfg := NiagaraConfig(1)
+	cfg.Quantum = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative quantum accepted")
+	}
+}

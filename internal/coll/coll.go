@@ -1,0 +1,204 @@
+// Package coll provides the small set of collective operations the paper's
+// application patterns assume around partitioned communication: broadcast,
+// reduce/allreduce on float64 vectors, and gather. All are built as
+// binomial trees over the point-to-point layer (internal/pt2pt), the way a
+// basic MPI implementation layers its collectives over send/recv.
+//
+// Collectives are matched by a dedicated tag space per Coll instance and an
+// operation sequence number, so they may interleave with application
+// point-to-point traffic on the same Comm without cross-matching.
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/pt2pt"
+	"repro/internal/sim"
+)
+
+// tagBase starts the collective tag space, far above typical application
+// tags; the sequence number is added per operation.
+const tagBase = 1 << 24
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("coll: unknown op %d", o))
+	}
+}
+
+// Coll is one rank's collective engine over its point-to-point Comm.
+// Every rank of the world must create one and call the same sequence of
+// collective operations (standard MPI ordering semantics).
+type Coll struct {
+	c   *pt2pt.Comm
+	seq int
+}
+
+// New wraps a point-to-point engine with collectives.
+func New(c *pt2pt.Comm) *Coll { return &Coll{c: c} }
+
+// size and id shorthands.
+func (cl *Coll) size() int { return cl.c.Rank().World().Size() }
+func (cl *Coll) id() int   { return cl.c.Rank().ID() }
+
+// nextTag reserves the tag for the next operation.
+func (cl *Coll) nextTag() int {
+	cl.seq++
+	return tagBase + cl.seq
+}
+
+// Bcast distributes buf from root to every rank using a binomial tree.
+// All ranks pass a buffer of identical length.
+func (cl *Coll) Bcast(p *sim.Proc, buf []byte, root int) error {
+	n := cl.size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("coll: root %d out of range", root)
+	}
+	tag := cl.nextTag()
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (cl.id() - root + n) % n
+
+	// Receive from the parent (clear the lowest set bit).
+	if vrank != 0 {
+		parent := (vrank&(vrank-1) + root) % n
+		if _, _, _, err := cl.c.Recv(p, buf, parent, tag); err != nil {
+			return err
+		}
+	}
+	// Forward to children: set each bit above the lowest set bit.
+	for bit := 1; bit < n; bit <<= 1 {
+		if vrank&(bit-1) != 0 || vrank&bit != 0 {
+			continue
+		}
+		child := vrank | bit
+		if child >= n {
+			break
+		}
+		if err := cl.c.Send(p, buf, (child+root)%n, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encode/decode float64 vectors for the wire.
+func encodeF64(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+func decodeF64(b []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// Reduce combines every rank's vec element-wise with op into out on root
+// (out is only written on root and must have len(vec)).
+func (cl *Coll) Reduce(p *sim.Proc, vec, out []float64, op Op, root int) error {
+	n := cl.size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("coll: root %d out of range", root)
+	}
+	if cl.id() == root && len(out) != len(vec) {
+		return fmt.Errorf("coll: out length %d != vec length %d", len(out), len(vec))
+	}
+	tag := cl.nextTag()
+	vrank := (cl.id() - root + n) % n
+
+	acc := append([]float64(nil), vec...)
+	tmp := make([]float64, len(vec))
+	wire := make([]byte, 8*len(vec))
+	// Combine up the binomial tree: receive from children, then hand the
+	// partial result to the parent. Virtual rank 0 (the root) has no set
+	// bits and therefore never sends.
+	for bit := 1; bit < n; bit <<= 1 {
+		if vrank&bit != 0 {
+			parent := ((vrank ^ bit) + root) % n
+			return cl.c.Send(p, encodeF64(acc), parent, tag)
+		}
+		child := vrank | bit
+		if child < n {
+			if _, _, _, err := cl.c.Recv(p, wire, (child+root)%n, tag); err != nil {
+				return err
+			}
+			decodeF64(wire, tmp)
+			for i := range acc {
+				acc[i] = op.apply(acc[i], tmp[i])
+			}
+		}
+	}
+	copy(out, acc) // only reached by the root
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast of the result; every
+// rank receives the combined vector in out.
+func (cl *Coll) Allreduce(p *sim.Proc, vec, out []float64, op Op) error {
+	if len(out) != len(vec) {
+		return fmt.Errorf("coll: out length %d != vec length %d", len(out), len(vec))
+	}
+	if err := cl.Reduce(p, vec, out, op, 0); err != nil {
+		return err
+	}
+	wire := make([]byte, 8*len(vec))
+	if cl.id() == 0 {
+		copy(wire, encodeF64(out))
+	}
+	if err := cl.Bcast(p, wire, 0); err != nil {
+		return err
+	}
+	decodeF64(wire, out)
+	return nil
+}
+
+// Gather collects every rank's equal-length chunk into out on root
+// (len(out) == size * len(chunk) on root; ignored elsewhere).
+func (cl *Coll) Gather(p *sim.Proc, chunk, out []byte, root int) error {
+	n := cl.size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("coll: root %d out of range", root)
+	}
+	tag := cl.nextTag()
+	if cl.id() != root {
+		return cl.c.Send(p, chunk, root, tag)
+	}
+	if len(out) != n*len(chunk) {
+		return fmt.Errorf("coll: out length %d != %d ranks x %d", len(out), n, len(chunk))
+	}
+	copy(out[cl.id()*len(chunk):], chunk)
+	buf := make([]byte, len(chunk))
+	for i := 0; i < n-1; i++ {
+		src, _, m, err := cl.c.Recv(p, buf, pt2pt.AnySource, tag)
+		if err != nil {
+			return err
+		}
+		if m != len(chunk) {
+			return fmt.Errorf("coll: gather chunk from %d has %d bytes, want %d", src, m, len(chunk))
+		}
+		copy(out[src*len(chunk):], buf[:m])
+	}
+	return nil
+}

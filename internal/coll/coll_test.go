@@ -1,0 +1,228 @@
+package coll
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pt2pt"
+	"repro/internal/sim"
+)
+
+// env builds a world with one Coll per rank.
+type env struct {
+	w   *mpi.World
+	cls []*Coll
+}
+
+func newEnv(nodes int) *env {
+	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(nodes)})
+	e := &env{w: w}
+	for i := 0; i < nodes; i++ {
+		e.cls = append(e.cls, New(pt2pt.New(w.Rank(i), nil)))
+	}
+	return e
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8} {
+		for root := 0; root < nodes; root++ {
+			e := newEnv(nodes)
+			payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+			bufs := make([][]byte, nodes)
+			err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+				buf := make([]byte, len(payload))
+				if r.ID() == root {
+					copy(buf, payload)
+				}
+				if err := e.cls[r.ID()].Bcast(p, buf, root); err != nil {
+					t.Error(err)
+				}
+				bufs[r.ID()] = buf
+			})
+			if err != nil {
+				t.Fatalf("nodes=%d root=%d: %v", nodes, root, err)
+			}
+			for i, b := range bufs {
+				if !bytes.Equal(b, payload) {
+					t.Fatalf("nodes=%d root=%d rank=%d got %v", nodes, root, i, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const nodes = 6
+	e := newEnv(nodes)
+	out := make([]float64, 3)
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		vec := []float64{float64(r.ID()), 1, float64(r.ID() * r.ID())}
+		var dst []float64
+		if r.ID() == 2 {
+			dst = out
+		} else {
+			dst = make([]float64, 3)
+		}
+		if err := e.cls[r.ID()].Reduce(p, vec, dst, OpSum, 2); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum i = 15, count = 6, sum i^2 = 55.
+	if out[0] != 15 || out[1] != 6 || out[2] != 55 {
+		t.Fatalf("reduce result %v", out)
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	const nodes = 4
+	for _, c := range []struct {
+		op   Op
+		want float64
+	}{{OpMax, 3}, {OpMin, 0}} {
+		e := newEnv(nodes)
+		out := make([]float64, 1)
+		err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+			dst := make([]float64, 1)
+			if r.ID() == 0 {
+				dst = out
+			}
+			if err := e.cls[r.ID()].Reduce(p, []float64{float64(r.ID())}, dst, c.op, 0); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != c.want {
+			t.Fatalf("op %v: got %v, want %v", c.op, out[0], c.want)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const nodes = 5
+	e := newEnv(nodes)
+	results := make([][]float64, nodes)
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		out := make([]float64, 2)
+		vec := []float64{1, float64(r.ID())}
+		if err := e.cls[r.ID()].Allreduce(p, vec, out, OpSum); err != nil {
+			t.Error(err)
+		}
+		results[r.ID()] = out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range results {
+		if out[0] != 5 || out[1] != 10 {
+			t.Fatalf("rank %d allreduce %v", i, out)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const nodes = 4
+	e := newEnv(nodes)
+	out := make([]byte, nodes*2)
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		chunk := []byte{byte(r.ID()), byte(r.ID() + 100)}
+		dst := out
+		if r.ID() != 1 {
+			dst = nil
+		}
+		if err := e.cls[r.ID()].Gather(p, chunk, dst, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if out[i*2] != byte(i) || out[i*2+1] != byte(i+100) {
+			t.Fatalf("gather out = %v", out)
+		}
+	}
+}
+
+func TestSequencedCollectivesDoNotCross(t *testing.T) {
+	// Back-to-back collectives with different payloads must not cross-match.
+	const nodes = 4
+	e := newEnv(nodes)
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		cl := e.cls[r.ID()]
+		for round := 0; round < 5; round++ {
+			buf := make([]byte, 4)
+			if r.ID() == 0 {
+				buf[0] = byte(round)
+			}
+			if err := cl.Bcast(p, buf, 0); err != nil {
+				t.Error(err)
+			}
+			if buf[0] != byte(round) {
+				t.Errorf("rank %d round %d got %d", r.ID(), round, buf[0])
+			}
+			out := make([]float64, 1)
+			if err := cl.Allreduce(p, []float64{float64(round)}, out, OpMax); err != nil {
+				t.Error(err)
+			}
+			if out[0] != float64(round) {
+				t.Errorf("rank %d round %d allreduce %v", r.ID(), round, out[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := newEnv(2)
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		cl := e.cls[0]
+		if err := cl.Bcast(p, []byte{1}, 5); err == nil {
+			t.Error("bad bcast root accepted")
+		}
+		if err := cl.Reduce(p, []float64{1}, []float64{}, OpSum, 0); err == nil {
+			t.Error("mismatched reduce out accepted")
+		}
+		if err := cl.Allreduce(p, []float64{1}, []float64{}, OpSum); err == nil {
+			t.Error("mismatched allreduce out accepted")
+		}
+		if err := cl.Gather(p, []byte{1}, []byte{1}, 0); err == nil {
+			t.Error("mismatched gather out accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpApplyUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	Op(9).apply(1, 2)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []float64{0, 1.5, -3.25, math.Inf(1), math.Pi}
+	out := make([]float64, len(in))
+	decodeF64(encodeF64(in), out)
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("index %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}

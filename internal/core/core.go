@@ -1,0 +1,279 @@
+// Package core implements the paper's contribution: MPI Partitioned
+// Point-to-Point Communication mapped directly onto InfiniBand Verbs
+// (Section IV), with the three aggregation designs under study plus the
+// Open-MPI-persistent-style baseline they are evaluated against.
+//
+// # Terminology (paper Section IV-A)
+//
+// User partitions are the chunks the application marks ready with
+// MPI_Pready. Transport partitions are the work requests the library
+// actually posts; aggregation means multiple contiguous user partitions
+// travel in a single RDMA_WRITE_WITH_IMM whose 32-bit immediate encodes
+// (starting user partition, contiguous count) as two packed uint16s.
+//
+// # Lifecycle
+//
+// PsendInit/PrecvInit register the persistent buffers, pick the
+// aggregation plan, create and asynchronously connect the queue pairs, and
+// match sender to receiver by (source rank, tag) in posted order — no
+// wildcards, as the Partitioned interface specifies. Start arms a
+// communication round (the first sender Start polls the progress engine
+// until the remote buffer is ready, exactly as the paper does in lieu of
+// MPI_Pbuf_prepare); Pready marks a user partition ready via an atomic
+// add-and-fetch and posts the transport partition when its group is
+// complete; Parrived/Wait complete the round. Requests are persistent:
+// Start begins the next round reusing all resources.
+//
+// # Strategies
+//
+//   - StrategyBaseline: one message per user partition through the UCX-like
+//     layer (internal/ucx) — the `part_persist` stand-in.
+//   - StrategyTuningTable: transport partition and QP counts from an
+//     offline brute-force table (Section IV-B).
+//   - StrategyPLogGP: counts from the PLogGP model at init time
+//     (Section IV-C).
+//   - StrategyTimerPLogGP: the PLogGP grouping plus the δ-timer early-bird
+//     mechanism of Section IV-D — the first Pready in a group sleeps up to
+//     δ and, on expiry, sends the largest contiguous ready runs so a
+//     laggard cannot hold back the whole group.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ibv"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// EncodeImm packs (starting user partition, contiguous count) into the
+// 32-bit immediate exactly as Section IV-A describes: two uint16 values
+// shifted into a __be32.
+func EncodeImm(start, count uint16) uint32 {
+	return uint32(start)<<16 | uint32(count)
+}
+
+// DecodeImm unpacks an immediate produced by EncodeImm.
+func DecodeImm(imm uint32) (start, count uint16) {
+	return uint16(imm >> 16), uint16(imm)
+}
+
+// Control-message kinds for the partitioned module.
+const (
+	ctrlSinit  = "part.sinit"
+	ctrlRinit  = "part.rinit"
+	ctrlCredit = "part.credit"
+)
+
+// sinitMsg announces a Psend to its matching receiver.
+type sinitMsg struct {
+	reqID     uint32
+	tag       int
+	userParts int
+	bytes     int
+	strategy  Strategy
+	transport int
+	qps       []*ibv.QP
+}
+
+// rinitMsg answers with the receiver's buffer and queue pairs.
+type rinitMsg struct {
+	peerReq uint32 // the sender's request id
+	reqID   uint32 // the receiver's request id
+	addr    uint64
+	rkey    uint32
+	qps     []*ibv.QP
+}
+
+// creditMsg grants the sender one round: the receiver has reset its
+// arrival flags and replenished its receive work requests.
+type creditMsg struct {
+	peerReq uint32
+}
+
+// matchKey orders partitioned-init matching by (source rank, tag); the
+// interface has no wildcards, so exact keys suffice.
+type matchKey struct {
+	src int
+	tag int
+}
+
+// Engine is the per-rank partitioned-communication module. Create exactly
+// one per rank; it owns the rank's UCX-like transport (for the baseline
+// strategy) and the module's control handlers.
+type Engine struct {
+	r   *mpi.Rank
+	ucx *ucx.Transport
+
+	nextReq      uint32
+	psends       map[uint32]*Psend
+	precvs       map[uint32]*Precv
+	pendingRecvs map[matchKey][]*Precv
+	unexpected   map[matchKey][]pendingSinit
+}
+
+type pendingSinit struct {
+	from int
+	msg  sinitMsg
+}
+
+// NewEngine builds the partitioned module for a rank.
+func NewEngine(r *mpi.Rank) *Engine {
+	e := &Engine{
+		r:            r,
+		ucx:          ucx.New(r, ucx.Config{}),
+		psends:       make(map[uint32]*Psend),
+		precvs:       make(map[uint32]*Precv),
+		pendingRecvs: make(map[matchKey][]*Precv),
+		unexpected:   make(map[matchKey][]pendingSinit),
+	}
+	r.HandleCtrl(ctrlSinit, e.onSinit)
+	r.HandleCtrl(ctrlRinit, e.onRinit)
+	r.HandleCtrl(ctrlCredit, e.onCredit)
+	e.ucx.SetEagerHandler(e.onBaselineEager)
+	e.ucx.SetRndv(e.baselineRndvTarget, e.onBaselineRndvDone)
+	return e
+}
+
+// Rank returns the rank this module serves.
+func (e *Engine) Rank() *mpi.Rank { return e.r }
+
+// UCX returns the module's transport (exported for tests and stats).
+func (e *Engine) UCX() *ucx.Transport { return e.ucx }
+
+// allocReq hands out request ids; id 0 is reserved as "none".
+func (e *Engine) allocReq() uint32 {
+	e.nextReq++
+	return e.nextReq
+}
+
+// onSinit matches an arriving send-init against posted receive-inits in
+// order, or queues it as unexpected.
+func (e *Engine) onSinit(from int, data any) {
+	msg := data.(sinitMsg)
+	key := matchKey{src: from, tag: msg.tag}
+	if q := e.pendingRecvs[key]; len(q) > 0 {
+		pr := q[0]
+		e.pendingRecvs[key] = q[1:]
+		e.match(pr, from, msg)
+		return
+	}
+	e.unexpected[key] = append(e.unexpected[key], pendingSinit{from: from, msg: msg})
+}
+
+// onRinit completes the sender side of the handshake.
+func (e *Engine) onRinit(from int, data any) {
+	msg := data.(rinitMsg)
+	ps, ok := e.psends[msg.peerReq]
+	if !ok {
+		panic(fmt.Sprintf("core: rinit for unknown request %d on rank %d", msg.peerReq, e.r.ID()))
+	}
+	ps.completeHandshake(msg)
+}
+
+// onCredit grants the sender a round.
+func (e *Engine) onCredit(from int, data any) {
+	msg := data.(creditMsg)
+	ps, ok := e.psends[msg.peerReq]
+	if !ok {
+		panic(fmt.Sprintf("core: credit for unknown request %d on rank %d", msg.peerReq, e.r.ID()))
+	}
+	ps.credits++
+	e.r.Wake()
+}
+
+// baselineHeader packs the receiver request id and partition index into a
+// UCX active-message header.
+func baselineHeader(recvReq uint32, part int) uint64 {
+	return uint64(recvReq)<<32 | uint64(uint32(part))
+}
+
+func splitBaselineHeader(h uint64) (recvReq uint32, part int) {
+	return uint32(h >> 32), int(uint32(h))
+}
+
+// onBaselineEager places an eager baseline partition into the user buffer
+// and marks it arrived. The bounce copy-out cost was charged by the
+// transport.
+func (e *Engine) onBaselineEager(p *sim.Proc, from int, header uint64, data []byte) {
+	recvReq, part := splitBaselineHeader(header)
+	pr, ok := e.precvs[recvReq]
+	if !ok {
+		panic(fmt.Sprintf("core: baseline arrival for unknown request %d", recvReq))
+	}
+	copy(pr.buf[part*pr.partBytes:(part+1)*pr.partBytes], data)
+	pr.markArrived(part, 1)
+}
+
+// baselineRndvTarget resolves the landing zone of a rendezvous partition.
+func (e *Engine) baselineRndvTarget(from int, header uint64, size int) (*ibv.MR, int, bool) {
+	recvReq, part := splitBaselineHeader(header)
+	pr, ok := e.precvs[recvReq]
+	if !ok {
+		return nil, 0, false
+	}
+	return pr.mr, part * pr.partBytes, true
+}
+
+// onBaselineRndvDone marks a rendezvous partition arrived.
+func (e *Engine) onBaselineRndvDone(from int, header uint64, size int) {
+	recvReq, part := splitBaselineHeader(header)
+	pr, ok := e.precvs[recvReq]
+	if !ok {
+		panic(fmt.Sprintf("core: baseline rndv completion for unknown request %d", recvReq))
+	}
+	pr.markArrived(part, 1)
+	e.r.Wake()
+}
+
+// match wires a matched (Psend, Precv) pair: the receiver creates its
+// queue pairs, connects them against the sender's, and replies with its
+// buffer coordinates. Runs at control-handler (event) context.
+func (e *Engine) match(pr *Precv, from int, msg sinitMsg) {
+	if msg.userParts != pr.userParts {
+		panic(fmt.Sprintf("core: partition count mismatch: sender %d, receiver %d (tag %d)",
+			msg.userParts, pr.userParts, pr.tag))
+	}
+	if msg.bytes != len(pr.buf) {
+		panic(fmt.Sprintf("core: buffer size mismatch: sender %d, receiver %d (tag %d)",
+			msg.bytes, len(pr.buf), pr.tag))
+	}
+	pr.strategy = msg.strategy
+	pr.transport = msg.transport
+	pr.peerReq = msg.reqID
+
+	if msg.strategy != StrategyBaseline {
+		for i, sqp := range msg.qps {
+			qp, err := e.r.PD().CreateQP(ibv.QPConfig{
+				SendCQ:    e.r.SendCQ(),
+				RecvCQ:    e.r.RecvCQ(),
+				MaxRecvWR: pr.userParts + 16,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("core: receiver CreateQP: %v", err))
+			}
+			if err := qp.ToInit(); err != nil {
+				panic(err)
+			}
+			if err := qp.ToRTR(sqp); err != nil {
+				panic(err)
+			}
+			if err := qp.ToRTS(); err != nil {
+				panic(err)
+			}
+			qpIdx := i
+			e.r.HandleQP(qp, func(p *sim.Proc, wc ibv.WC) { pr.onWC(p, qpIdx, wc) })
+			pr.qps = append(pr.qps, qp)
+		}
+	}
+	pr.matched = true
+	e.r.SendCtrl(from, ctrlRinit, rinitMsg{
+		peerReq: msg.reqID,
+		reqID:   pr.reqID,
+		addr:    pr.mr.Addr(),
+		rkey:    pr.mr.RKey(),
+		qps:     pr.qps,
+	})
+	e.r.Wake()
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ibv"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Precv is a persistent partitioned receive request.
+type Precv struct {
+	e *Engine
+	r *mpi.Rank
+
+	buf       []byte
+	mr        *ibv.MR
+	userParts int
+	partBytes int
+	source    int
+	tag       int
+
+	reqID   uint32
+	peerReq uint32
+
+	// Filled at match time from the sender's announcement.
+	strategy  Strategy
+	transport int
+	qps       []*ibv.QP
+	matched   bool
+
+	arrived      []bool
+	arrivedCount int
+	round        int
+
+	// availWRs counts receive WRs posted but not yet consumed, per QP;
+	// Start tops each queue up to its worst-case need.
+	availWRs []int
+}
+
+// PrecvInit initializes a persistent partitioned receive of buf from
+// (source, tag). Like PsendInit it is non-blocking; matching happens when
+// the sender's announcement arrives, in posted order per (source, tag).
+func (e *Engine) PrecvInit(p *sim.Proc, buf []byte, partitions, source, tag int, opts Options) (*Precv, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("core: PrecvInit with empty buffer")
+	}
+	if partitions < 1 || len(buf)%partitions != 0 {
+		return nil, fmt.Errorf("core: buffer of %d bytes not divisible into %d partitions", len(buf), partitions)
+	}
+	if source < 0 || source >= e.r.World().Size() {
+		return nil, fmt.Errorf("core: source rank %d out of range", source)
+	}
+	mr, err := e.r.PD().RegMR(buf)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Precv{
+		e:         e,
+		r:         e.r,
+		buf:       buf,
+		mr:        mr,
+		userParts: partitions,
+		partBytes: len(buf) / partitions,
+		source:    source,
+		tag:       tag,
+		reqID:     e.allocReq(),
+		arrived:   make([]bool, partitions),
+	}
+	e.precvs[pr.reqID] = pr
+
+	key := matchKey{src: source, tag: tag}
+	if q := e.unexpected[key]; len(q) > 0 {
+		ps := q[0]
+		e.unexpected[key] = q[1:]
+		e.match(pr, ps.from, ps.msg)
+	} else {
+		e.pendingRecvs[key] = append(e.pendingRecvs[key], pr)
+	}
+	return pr, nil
+}
+
+// Start arms the next round: arrival flags are cleared, receive work
+// requests are replenished (they are consumed by RDMA_WRITE_WITH_IMM, so
+// the worst case is one per user partition under the timer aggregator),
+// and the sender is granted the round.
+func (pr *Precv) Start(p *sim.Proc) {
+	pr.r.WaitOn(p, func() bool { return pr.matched })
+	p.Sleep(pr.r.World().Costs().StartOverhead)
+	pr.round++
+	for i := range pr.arrived {
+		pr.arrived[i] = false
+	}
+	pr.arrivedCount = 0
+
+	if pr.strategy != StrategyBaseline {
+		if pr.availWRs == nil {
+			pr.availWRs = make([]int, len(pr.qps))
+		}
+		groupSize := pr.userParts / pr.transport
+		need := make([]int, len(pr.qps))
+		for g := 0; g < pr.transport; g++ {
+			need[g%len(pr.qps)] += groupSize
+		}
+		recvPost := pr.r.World().Costs().RecvPostOverhead
+		for q, qp := range pr.qps {
+			for pr.availWRs[q] < need[q] {
+				p.Sleep(recvPost)
+				err := qp.PostRecv(ibv.RecvWR{WRID: uint64(pr.reqID)<<32 | uint64(q)})
+				if err != nil {
+					panic(fmt.Sprintf("core: PostRecv: %v", err))
+				}
+				pr.availWRs[q]++
+			}
+		}
+	}
+	pr.r.SendCtrl(pr.source, ctrlCredit, creditMsg{peerReq: pr.peerReq})
+}
+
+// onWC handles an arriving transport partition (receive-CQ completion on
+// one of the request's QPs): the immediate encodes which contiguous user
+// partitions the WR carried.
+func (pr *Precv) onWC(p *sim.Proc, qpIdx int, wc ibv.WC) {
+	if wc.Status != ibv.StatusSuccess {
+		panic(fmt.Sprintf("core: receive completion error on rank %d: %v", pr.r.ID(), wc.Status))
+	}
+	if wc.Opcode != ibv.WCRecvRDMAWithImm || !wc.HasImm {
+		panic(fmt.Sprintf("core: unexpected receive completion %+v", wc))
+	}
+	start, count := DecodeImm(wc.Imm)
+	pr.availWRs[qpIdx]--
+	pr.markArrived(int(start), int(count))
+}
+
+// markArrived sets the arrival flags for user partitions
+// [start, start+count).
+func (pr *Precv) markArrived(start, count int) {
+	if start < 0 || count < 1 || start+count > pr.userParts {
+		panic(fmt.Sprintf("core: arrival range [%d,%d) outside %d partitions", start, start+count, pr.userParts))
+	}
+	for i := start; i < start+count; i++ {
+		if pr.arrived[i] {
+			panic(fmt.Sprintf("core: duplicate arrival for partition %d in round %d", i, pr.round))
+		}
+		pr.arrived[i] = true
+	}
+	pr.arrivedCount += count
+}
+
+// Parrived reports whether user partition i has arrived, progressing the
+// library once if it has not — the paper's design: check the flag, and if
+// unset try to acquire the progress lock (Section IV-A).
+func (pr *Precv) Parrived(p *sim.Proc, i int) bool {
+	if i < 0 || i >= pr.userParts {
+		panic(fmt.Sprintf("core: Parrived partition %d out of range [0,%d)", i, pr.userParts))
+	}
+	if pr.arrived[i] {
+		return true
+	}
+	pr.r.Progress(p)
+	return pr.arrived[i]
+}
+
+// done reports whether every partition of the round has arrived.
+func (pr *Precv) done() bool { return pr.arrivedCount == pr.userParts }
+
+// Test progresses communication once and reports round completion.
+func (pr *Precv) Test(p *sim.Proc) bool {
+	if pr.done() {
+		return true
+	}
+	pr.r.Progress(p)
+	return pr.done()
+}
+
+// Wait blocks until every partition of the round has arrived.
+func (pr *Precv) Wait(p *sim.Proc) {
+	pr.r.WaitOn(p, pr.done)
+}
+
+// Arrived reports the number of partitions that have arrived this round.
+func (pr *Precv) Arrived() int { return pr.arrivedCount }
+
+// Buffer returns the receive buffer (the application owns it).
+func (pr *Precv) Buffer() []byte { return pr.buf }

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ibv"
+	"repro/internal/loggp"
+	"repro/internal/mpi"
+	"repro/internal/ploggp"
+	"repro/internal/sim"
+)
+
+// defaultModel returns the PLogGP model with the Niagara-measured
+// parameter set.
+func defaultModel() *ploggp.Model { return ploggp.New(loggp.NiagaraMeasured()) }
+
+// Psend is a persistent partitioned send request.
+type Psend struct {
+	e    *Engine
+	r    *mpi.Rank
+	opts Options
+	plan Plan
+
+	buf       []byte
+	mr        *ibv.MR
+	userParts int
+	partBytes int
+	dest      int
+	tag       int
+
+	reqID   uint32
+	peerReq uint32
+
+	qps []*ibv.QP
+	// qpLocks serialize concurrent Pready posters per queue pair; unlike
+	// the baseline's library-wide lock, contention only arises between
+	// group-completing threads that share a QP.
+	qpLocks []*sim.Resource
+	// flagLock models the contended cache line of the arrival-flag array:
+	// concurrent Pready callers take turns on the atomic add-and-fetch,
+	// the effect the paper points to when explaining why minimum delta
+	// grows with the partition count (Section V-C3).
+	flagLock   *sim.Resource
+	remoteAddr uint64
+	remoteRKey uint32
+	connected  bool
+
+	credits int
+	round   int
+
+	groups       []*sendGroup
+	sentParts    int
+	postedWRs    int
+	completedWRs int
+}
+
+// sendGroup is the per-transport-partition send state for one round.
+type sendGroup struct {
+	start   int // first user partition of the group
+	size    int
+	arrived int
+	ready   []bool
+	sent    []bool
+	// Timer-strategy state (Section IV-D).
+	armed bool
+	fired bool
+	cond  *sim.Cond
+}
+
+// PsendInit initializes a persistent partitioned send of buf, split into
+// the given number of equal user partitions, to (dest, tag). Everything
+// here is non-blocking: queue-pair connection and matching complete
+// asynchronously, and the first Start polls until the remote buffer is
+// ready (paper Section IV-A).
+func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, opts Options) (*Psend, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("core: PsendInit with empty buffer")
+	}
+	if partitions < 1 || len(buf)%partitions != 0 {
+		return nil, fmt.Errorf("core: buffer of %d bytes not divisible into %d partitions", len(buf), partitions)
+	}
+	if dest < 0 || dest >= e.r.World().Size() {
+		return nil, fmt.Errorf("core: destination rank %d out of range", dest)
+	}
+	plan, err := resolvePlan(opts, partitions, len(buf))
+	if err != nil {
+		return nil, err
+	}
+	mr, err := e.r.PD().RegMR(buf)
+	if err != nil {
+		return nil, err
+	}
+	ps := &Psend{
+		e:         e,
+		r:         e.r,
+		opts:      opts,
+		plan:      plan,
+		buf:       buf,
+		mr:        mr,
+		userParts: partitions,
+		partBytes: len(buf) / partitions,
+		dest:      dest,
+		tag:       tag,
+		reqID:     e.allocReq(),
+		flagLock:  sim.NewResource(e.r.World().Engine(), 1),
+	}
+	e.psends[ps.reqID] = ps
+
+	if opts.Strategy != StrategyBaseline {
+		// Transport partitions spread over the plan's QPs; the SQ must
+		// hold a worst-case round (every user partition its own WR under
+		// the timer strategy).
+		for i := 0; i < plan.QPs; i++ {
+			qp, err := e.r.PD().CreateQP(ibv.QPConfig{
+				SendCQ:         e.r.SendCQ(),
+				RecvCQ:         e.r.RecvCQ(),
+				MaxSendWR:      partitions + 16,
+				MaxOutstanding: opts.MaxOutstandingPerQP,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := qp.ToInit(); err != nil {
+				return nil, err
+			}
+			e.r.HandleQP(qp, ps.onSendWC)
+			ps.qps = append(ps.qps, qp)
+			ps.qpLocks = append(ps.qpLocks, sim.NewResource(e.r.World().Engine(), 1))
+		}
+	}
+	e.r.SendCtrl(dest, ctrlSinit, sinitMsg{
+		reqID:     ps.reqID,
+		tag:       tag,
+		userParts: partitions,
+		bytes:     len(buf),
+		strategy:  opts.Strategy,
+		transport: plan.Transport,
+		qps:       ps.qps,
+	})
+	return ps, nil
+}
+
+// completeHandshake finishes connection setup when the receiver's reply
+// arrives (control-handler context).
+func (ps *Psend) completeHandshake(msg rinitMsg) {
+	ps.peerReq = msg.reqID
+	ps.remoteAddr = msg.addr
+	ps.remoteRKey = msg.rkey
+	if ps.opts.Strategy != StrategyBaseline {
+		if len(msg.qps) != len(ps.qps) {
+			panic(fmt.Sprintf("core: QP count mismatch in handshake: %d vs %d", len(msg.qps), len(ps.qps)))
+		}
+		for i, qp := range ps.qps {
+			if err := qp.ToRTR(msg.qps[i]); err != nil {
+				panic(err)
+			}
+			if err := qp.ToRTS(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	ps.connected = true
+	ps.r.Wake()
+}
+
+// Plan returns the resolved aggregation plan (for experiments and tests).
+func (ps *Psend) Plan() Plan { return ps.plan }
+
+// Start arms the next communication round. The sender blocks until the
+// receiver has granted the round (flags cleared, receive WRs replenished);
+// for the first round this subsumes the paper's poll-until-remote-ready.
+func (ps *Psend) Start(p *sim.Proc) {
+	ps.round++
+	ps.sentParts = 0
+	ps.postedWRs = 0
+	ps.completedWRs = 0
+	ps.groups = ps.groups[:0]
+	for g := 0; g < ps.plan.Transport; g++ {
+		ps.groups = append(ps.groups, &sendGroup{
+			start: g * ps.plan.GroupSize,
+			size:  ps.plan.GroupSize,
+			ready: make([]bool, ps.plan.GroupSize),
+			sent:  make([]bool, ps.plan.GroupSize),
+			cond:  sim.NewCond(ps.r.World().Engine()),
+		})
+	}
+	p.Sleep(ps.r.World().Costs().StartOverhead)
+	round := ps.round
+	ps.r.WaitOn(p, func() bool { return ps.connected && ps.credits >= round })
+	if ps.opts.Observer != nil {
+		ps.opts.Observer.PsendStart(ps.round, p.Now())
+	}
+}
+
+// Pready marks user partition i ready for transfer (callable from any
+// thread of the parallel region).
+func (ps *Psend) Pready(p *sim.Proc, i int) {
+	if i < 0 || i >= ps.userParts {
+		panic(fmt.Sprintf("core: Pready partition %d out of range [0,%d)", i, ps.userParts))
+	}
+	if ps.opts.Observer != nil {
+		ps.opts.Observer.PreadyCalled(ps.round, i, p.Now())
+	}
+	// The atomic add-and-fetch on the transport partition's flag array:
+	// concurrent callers serialize on the cache line.
+	ps.flagLock.Acquire(p)
+	p.Sleep(ps.r.World().Costs().PreadyOverhead)
+	ps.flagLock.Release()
+
+	if ps.opts.Strategy == StrategyBaseline {
+		ps.baselinePready(p, i)
+		return
+	}
+	g := ps.groups[ps.plan.groupOf(i)]
+	gi := i - g.start
+	if g.ready[gi] {
+		panic(fmt.Sprintf("core: Pready called twice for partition %d in round %d", i, ps.round))
+	}
+	g.ready[gi] = true
+	g.arrived++
+
+	if ps.opts.Strategy == StrategyTimerPLogGP {
+		ps.timerPready(p, g, gi)
+		return
+	}
+	// Tuning-table and PLogGP aggregators: post the group's single WR
+	// when every member partition has arrived.
+	if g.arrived == g.size {
+		ps.postRun(p, g, 0, g.size)
+	}
+}
+
+// PreadyRange marks partitions [lo, hi) ready, as MPI_Pready_range does.
+func (ps *Psend) PreadyRange(p *sim.Proc, lo, hi int) {
+	if lo < 0 || hi > ps.userParts || lo > hi {
+		panic(fmt.Sprintf("core: PreadyRange [%d,%d) invalid for %d partitions", lo, hi, ps.userParts))
+	}
+	for i := lo; i < hi; i++ {
+		ps.Pready(p, i)
+	}
+}
+
+// PreadyList marks the listed partitions ready, as MPI_Pready_list does.
+func (ps *Psend) PreadyList(p *sim.Proc, parts []int) {
+	for _, i := range parts {
+		ps.Pready(p, i)
+	}
+}
+
+// PbufPrepare blocks until the receiver's buffer is known to be ready for
+// the current connection — the MPI_Pbuf_prepare extension the MPI Forum
+// proposed for exactly the remote-readiness problem the paper works around
+// by polling in the first MPI_Start (Section IV-A, reference [21]).
+// Calling it between PsendInit and the first Start moves that poll out of
+// the measured region; it is idempotent.
+func (ps *Psend) PbufPrepare(p *sim.Proc) {
+	ps.r.WaitOn(p, func() bool { return ps.connected })
+}
+
+// baselinePready sends partition i as its own message through the
+// UCX-like layer, holding the library's post lock for the duration of the
+// protocol send path — the lock contention the paper's 128-partition runs
+// expose.
+func (ps *Psend) baselinePready(p *sim.Proc, i int) {
+	lock := ps.r.PostLock()
+	lock.Acquire(p)
+	ps.e.ucx.SendMR(p, ps.dest, baselineHeader(ps.peerReq, i), ps.mr, i*ps.partBytes, ps.partBytes)
+	p.Sleep(ps.r.World().Costs().PostLockHold)
+	lock.Release()
+	ps.sentParts++
+	ps.r.Wake()
+}
+
+// postRun posts one RDMA_WRITE_WITH_IMM covering user partitions
+// [g.start+lo, g.start+lo+count) and marks them sent.
+func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) {
+	for k := lo; k < lo+count; k++ {
+		if g.sent[k] || !g.ready[k] {
+			panic(fmt.Sprintf("core: postRun over partition %d in invalid state", g.start+k))
+		}
+		g.sent[k] = true
+	}
+	first := g.start + lo
+	bytes := count * ps.partBytes
+	off := first * ps.partBytes
+	qpIdx := ps.plan.qpOf(ps.plan.groupOf(g.start))
+	qp := ps.qps[qpIdx]
+
+	// The WR was pre-built at init time (Section IV-B); posting is a
+	// doorbell under the QP's lock.
+	lock := ps.qpLocks[qpIdx]
+	lock.Acquire(p)
+	p.Sleep(ps.r.World().Costs().PostOverhead)
+	err := qp.PostSend(ibv.SendWR{
+		WRID:       uint64(ps.reqID)<<32 | uint64(uint32(first)),
+		Opcode:     ibv.OpRDMAWriteImm,
+		SGList:     []ibv.SGE{ps.mr.SGEFor(off, bytes)},
+		RemoteAddr: ps.remoteAddr + uint64(off),
+		RKey:       ps.remoteRKey,
+		Imm:        EncodeImm(uint16(first), uint16(count)),
+		Signaled:   true,
+		Inline:     ps.opts.UseInline && bytes <= qp.MaxInline(),
+	})
+	lock.Release()
+	if err != nil {
+		panic(fmt.Sprintf("core: PostSend transport partition: %v", err))
+	}
+	ps.postedWRs++
+	ps.sentParts += count
+	ps.r.Wake()
+}
+
+// onSendWC accounts a completed transport-partition WR.
+func (ps *Psend) onSendWC(p *sim.Proc, wc ibv.WC) {
+	if wc.Status != ibv.StatusSuccess {
+		panic(fmt.Sprintf("core: send completion error on rank %d: %v", ps.r.ID(), wc.Status))
+	}
+	ps.completedWRs++
+}
+
+// done reports whether the current round has fully completed on the
+// sender: every partition sent and every posted WR acknowledged.
+func (ps *Psend) done() bool {
+	if ps.opts.Strategy == StrategyBaseline {
+		return ps.sentParts == ps.userParts && ps.e.ucx.Quiescent()
+	}
+	return ps.sentParts == ps.userParts && ps.completedWRs == ps.postedWRs
+}
+
+// Test progresses communication once and reports whether the round is
+// complete, as MPI_Test does.
+func (ps *Psend) Test(p *sim.Proc) bool {
+	if ps.done() {
+		return true
+	}
+	ps.r.Progress(p)
+	return ps.done()
+}
+
+// Wait blocks until the round completes, progressing communication.
+func (ps *Psend) Wait(p *sim.Proc) {
+	ps.r.WaitOn(p, ps.done)
+}

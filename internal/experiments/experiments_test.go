@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "table1", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14",
+		"ablation-inline", "ablation-window", "ablation-model", "ablation-timer", "halo",
+		"ablation-layered"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("position %d: %q, want %q", i, names[i], n)
+		}
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("Lookup(%q) missing", n)
+		}
+		if desc, ok := Describe(n); !ok || desc == "" {
+			t.Errorf("Describe(%q) missing", n)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown experiment succeeded")
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every driver in quick mode and
+// verifies each produces at least one non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run, _ := Lookup(name)
+			tables, err := run(Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.Rows() == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tables, err := Table1(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tables[0].WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The paper's Table I rows must appear: 2 at 512KiB-1MiB, 4 at
+	// 2-4MiB, 8 at 8-16MiB, 16 at 32-64MiB, 32 at >=128MiB.
+	for _, want := range []string{
+		"512KiB-1MiB", "2MiB-4MiB", "8MiB-16MiB", "32MiB-64MiB", "128MiB-256MiB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing range %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeterministicResults: the discrete-event simulation must make every
+// experiment bit-for-bit reproducible run to run.
+func TestDeterministicResults(t *testing.T) {
+	render := func() string {
+		tables, err := Fig9(Config{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tb := range tables {
+			if err := tb.WriteCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n%s\n---\n%s", a, b)
+	}
+}

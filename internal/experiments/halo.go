@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Halo runs the halo-exchange pattern from the paper's benchmark suite
+// (reference [14] evaluates both a halo exchange and the sweep; the paper
+// itself reports only the sweep, so this is an extension exhibit): a 4x4
+// periodic rank grid, 16 threads, communication speedup of the aggregators
+// over the baseline.
+func Halo(cfg Config) ([]*stats.Table, error) {
+	gridX, gridY, threads := 4, 4, 16
+	sizes := sizesPow2(16<<10, 4<<20, threads)
+	if cfg.Quick {
+		gridX, gridY = 2, 2
+		sizes = []int{256 << 10}
+	}
+	warmup, iters := cfg.sweepIterCounts()
+	tb := stats.NewTable(
+		"Halo exchange (extension): communication speedup vs baseline, 1 ms compute, 1% noise",
+		"size", "ploggp", "timer-ploggp")
+	for _, s := range sizes {
+		cfg.progress("halo: size %s", stats.FormatBytes(s))
+		run := func(opts core.Options) (time.Duration, error) {
+			res, err := bench.RunHalo(bench.HaloConfig{
+				GridX: gridX, GridY: gridY,
+				Threads:  threads,
+				Bytes:    s,
+				Compute:  time.Millisecond,
+				NoisePct: 1,
+				Warmup:   warmup,
+				Iters:    iters,
+				Opts:     opts,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MeanCommTime(), nil
+		}
+		base, err := run(core.Options{Strategy: core.StrategyBaseline})
+		if err != nil {
+			return nil, err
+		}
+		plog, err := run(core.Options{Strategy: core.StrategyPLogGP})
+		if err != nil {
+			return nil, err
+		}
+		timer, err := run(core.Options{Strategy: core.StrategyTimerPLogGP, Delta: 35 * time.Microsecond})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(stats.FormatBytes(s), stats.Speedup(base, plog), stats.Speedup(base, timer))
+	}
+	return []*stats.Table{tb}, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpipcl"
+	"repro/internal/pt2pt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AblationLayered compares the portable layered partitioned implementation
+// (internal/mpipcl, after MPIPCL) against the in-library baseline on the
+// overhead benchmark. Worley et al. (ICPP Workshops'21), discussed in the
+// paper's related work, found "minimal difference between the layered
+// library approach and the Open MPI persistent MCA module"; both send one
+// message per user partition, so their round times should track each other
+// within tens of percent.
+func AblationLayered(cfg Config) ([]*stats.Table, error) {
+	const parts = 16
+	sizes := sizesPow2(16<<10, 4<<20, parts)
+	if cfg.Quick {
+		sizes = []int{64 << 10, 1 << 20}
+	}
+	warmup, iters := cfg.iterCounts()
+	tb := stats.NewTable(
+		"Ablation: layered (MPIPCL-style) vs in-library baseline, 16 partitions",
+		"size", "baseline round", "layered round", "layered/baseline")
+	for _, s := range sizes {
+		cfg.progress("ablation-layered: size %s", stats.FormatBytes(s))
+		base, err := bench.RunP2P(bench.P2PConfig{
+			Parts: parts, Bytes: s, Warmup: warmup, Iters: iters,
+			Opts: core.Options{Strategy: core.StrategyBaseline},
+		})
+		if err != nil {
+			return nil, err
+		}
+		layered, err := runLayeredOverhead(parts, s, warmup, iters)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(stats.FormatBytes(s), base.MeanIterTime(), layered,
+			float64(layered)/float64(base.MeanIterTime()))
+	}
+	return []*stats.Table{tb}, nil
+}
+
+// runLayeredOverhead is the overhead benchmark driven through the layered
+// implementation.
+func runLayeredOverhead(parts, size, warmup, iters int) (time.Duration, error) {
+	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(2)})
+	comms := []*pt2pt.Comm{pt2pt.New(w.Rank(0), nil), pt2pt.New(w.Rank(1), nil)}
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	total := warmup + iters
+	var roundStart sim.Time
+	var sum time.Duration
+	measured := 0
+
+	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		switch r.ID() {
+		case 0:
+			ps, err := mpipcl.PsendInit(p, comms[0], src, parts, 1, 0)
+			if err != nil {
+				panic(err)
+			}
+			for iter := 0; iter < total; iter++ {
+				r.Barrier(p)
+				roundStart = p.Now()
+				ps.Start(p)
+				g := sim.NewGroup(p.Engine())
+				for t := 0; t < parts; t++ {
+					t := t
+					g.Add(1)
+					p.Engine().Spawn("thread", func(tp *sim.Proc) {
+						defer g.Done()
+						ps.Pready(tp, t)
+					})
+				}
+				g.Wait(p)
+				ps.Wait(p)
+			}
+		case 1:
+			pr, err := mpipcl.PrecvInit(p, comms[1], dst, parts, 0, 0)
+			if err != nil {
+				panic(err)
+			}
+			for iter := 0; iter < total; iter++ {
+				r.Barrier(p)
+				pr.Start(p)
+				pr.Wait(p)
+				if iter >= warmup {
+					sum += p.Now().Sub(roundStart)
+					measured++
+				}
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sum / time.Duration(measured), nil
+}

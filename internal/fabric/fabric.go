@@ -1,0 +1,389 @@
+// Package fabric simulates the interconnect the software verbs device
+// (internal/ibv) transmits on: an EDR-InfiniBand-like network whose costs
+// follow the LogGP decomposition the paper models with.
+//
+// Each HCA owns a Port. A Flow is a unidirectional, reliable, ordered
+// message pipeline between two ports — the fabric-level realization of one
+// queue pair's send direction. Messages are charged:
+//
+//   - WRProcess per work request (doorbell + WQE fetch at the NIC),
+//   - MsgGap between consecutive messages of the same flow (LogGP g),
+//   - per-byte injection pacing PerQPByteTime on the flow (a single QP
+//     cannot saturate the link, which is why the paper's Figure 7 finds
+//     more QPs help large transfers),
+//   - per-byte serialization LinkByteTime on the shared egress and ingress
+//     link cursors (LogGP G), with per-MTU-packet header bytes, and
+//   - WireLatency (LogGP L) on the wire, plus AckLatency for the sender's
+//     completion.
+//
+// Link arbitration happens at burst granularity (BurstBytes, default
+// 64 KiB): a flow reserves the link for at most one burst at a time, so
+// concurrent flows interleave within a few microseconds like packets on a
+// real switch, without simulating every 4 KiB packet as its own event.
+//
+// The fabric also provides a Control plane: small, reliable, ordered
+// rank-to-rank messages used by the MPI runtime for queue-pair and rkey
+// exchange, mirroring the paper's asynchronous connection setup inside
+// MPI_Psend_init/MPI_Precv_init.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/loggp"
+	"repro/internal/sim"
+)
+
+// Config holds the fabric cost model. Use DefaultConfig for an
+// EDR-InfiniBand-like parameterization.
+type Config struct {
+	// MTU is the maximum transmission unit in bytes.
+	MTU int
+	// BurstBytes is the link-arbitration granularity.
+	BurstBytes int
+	// PacketHeader is the per-MTU-packet header overhead in bytes.
+	PacketHeader int
+	// WireLatency is the one-way propagation latency (LogGP L).
+	WireLatency time.Duration
+	// AckLatency is the extra time until the sender's completion after
+	// the last byte arrives (hardware ack on a reliable connection).
+	AckLatency time.Duration
+	// LinkByteTime is the shared-link per-byte cost in ns/B (LogGP G).
+	LinkByteTime float64
+	// PerQPByteTime is the per-flow injection pacing in ns/B; it must be
+	// >= LinkByteTime. Values above LinkByteTime mean a single QP cannot
+	// saturate the link.
+	PerQPByteTime float64
+	// WRProcess is the per-work-request NIC processing cost (WQE fetch
+	// over PCIe after the doorbell).
+	WRProcess time.Duration
+	// InlineWRProcess replaces WRProcess for inline work requests: the
+	// payload travels inside the doorbell write (inlining/BlueFlame), so
+	// the NIC skips the WQE/payload DMA fetch. The paper leaves these
+	// small-message features to future work; they are modelled here so
+	// that study can be run (see the ablation experiments).
+	InlineWRProcess time.Duration
+	// MsgGap is the minimum spacing between messages of one flow (LogGP g).
+	MsgGap time.Duration
+	// CtrlLatency is the control-plane one-way latency.
+	CtrlLatency time.Duration
+}
+
+// DefaultConfig returns an EDR-InfiniBand-like cost model: ~11.7 GB/s link,
+// ~7.1 GB/s per QP, 4 KiB MTU, 1 µs wire latency. Per-WR processing and
+// inter-message gaps are tens of nanoseconds, matching the ~200 M msg/s
+// message rate of the ConnectX-5 generation — the hardware is cheap per
+// work request; it is the *software* per-message cost (modelled in the MPI
+// and UCX layers) that aggregation saves.
+func DefaultConfig() Config {
+	return Config{
+		MTU:             4096,
+		BurstBytes:      65536,
+		PacketHeader:    64,
+		WireLatency:     1000 * time.Nanosecond,
+		AckLatency:      1000 * time.Nanosecond,
+		LinkByteTime:    0.085,
+		PerQPByteTime:   0.140,
+		WRProcess:       25 * time.Nanosecond,
+		InlineWRProcess: 5 * time.Nanosecond,
+		MsgGap:          10 * time.Nanosecond,
+		CtrlLatency:     1500 * time.Nanosecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MTU <= 0:
+		return fmt.Errorf("fabric: MTU %d must be positive", c.MTU)
+	case c.BurstBytes < c.MTU:
+		return fmt.Errorf("fabric: BurstBytes %d must be >= MTU %d", c.BurstBytes, c.MTU)
+	case c.PacketHeader < 0:
+		return fmt.Errorf("fabric: negative PacketHeader")
+	case c.LinkByteTime <= 0:
+		return fmt.Errorf("fabric: LinkByteTime must be positive")
+	case c.PerQPByteTime < c.LinkByteTime:
+		return fmt.Errorf("fabric: PerQPByteTime %v < LinkByteTime %v", c.PerQPByteTime, c.LinkByteTime)
+	case c.WireLatency < 0 || c.AckLatency < 0 || c.WRProcess < 0 ||
+		c.InlineWRProcess < 0 || c.MsgGap < 0 || c.CtrlLatency < 0:
+		return fmt.Errorf("fabric: negative latency parameter")
+	}
+	return nil
+}
+
+// LinkBandwidth returns the shared-link bandwidth in bytes per second.
+func (c Config) LinkBandwidth() float64 { return 1e9 / c.LinkByteTime }
+
+// TrueParams expresses the fabric's own costs as a LogGP parameter set
+// (the "fabric truth" against which Netgauge-style measurement through MPI
+// is compared).
+func (c Config) TrueParams() loggp.Params {
+	return loggp.Params{
+		L:   c.WireLatency,
+		Os:  c.WRProcess,
+		Or:  c.AckLatency,
+		Gap: c.MsgGap,
+		G:   c.LinkByteTime,
+	}
+}
+
+// Fabric is a simulated interconnect instance.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports []*Port
+}
+
+// New creates a fabric on the engine. It panics on invalid configuration
+// (a construction-time programming error).
+func New(e *sim.Engine, cfg Config) *Fabric {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Fabric{eng: e, cfg: cfg}
+}
+
+// Engine returns the simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Config returns the cost model.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Port is one network endpoint (one HCA's link).
+type Port struct {
+	fab  *Fabric
+	id   int
+	name string
+
+	egressFreeAt  sim.Time
+	ingressFreeAt sim.Time
+
+	ctrlHandler func(from *Port, payload any)
+	// ctrlLastAt enforces FIFO control delivery per destination port.
+	ctrlLastAt sim.Time
+
+	// Statistics.
+	bytesSent     int64
+	bytesReceived int64
+	msgsSent      int64
+}
+
+// NewPort adds an endpoint to the fabric.
+func (f *Fabric) NewPort(name string) *Port {
+	p := &Port{fab: f, id: len(f.ports), name: name}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// Name returns the port's name.
+func (p *Port) Name() string { return p.name }
+
+// Fabric returns the fabric this port is attached to.
+func (p *Port) Fabric() *Fabric { return p.fab }
+
+// BytesSent returns the cumulative payload bytes injected by this port.
+func (p *Port) BytesSent() int64 { return p.bytesSent }
+
+// BytesReceived returns the cumulative payload bytes delivered to this port.
+func (p *Port) BytesReceived() int64 { return p.bytesReceived }
+
+// MessagesSent returns the number of messages injected by this port.
+func (p *Port) MessagesSent() int64 { return p.msgsSent }
+
+// SetControlHandler installs the callback for control-plane messages
+// addressed to this port.
+func (p *Port) SetControlHandler(h func(from *Port, payload any)) {
+	p.ctrlHandler = h
+}
+
+// SendControl delivers payload to dst's control handler after the
+// control-plane latency. Delivery order to a given destination is FIFO
+// across all senders (a deterministic total order, like a serialized
+// management network).
+func (p *Port) SendControl(dst *Port, payload any) {
+	e := p.fab.eng
+	at := e.Now().Add(p.fab.cfg.CtrlLatency)
+	if at <= dst.ctrlLastAt {
+		at = dst.ctrlLastAt + 1
+	}
+	dst.ctrlLastAt = at
+	src := p
+	e.At(at, func() {
+		if dst.ctrlHandler == nil {
+			panic(fmt.Sprintf("fabric: control message to %q with no handler", dst.name))
+		}
+		dst.ctrlHandler(src, payload)
+	})
+}
+
+// Message is one fabric-level transfer (the realization of one work
+// request). OnDeliver runs at the virtual instant the last byte is placed
+// at the destination; OnAck runs when the sender's hardware completion
+// would be generated.
+type Message struct {
+	Bytes int
+	// Inline marks a work request whose payload was written through the
+	// doorbell (inlining/BlueFlame): the NIC charges InlineWRProcess
+	// instead of WRProcess.
+	Inline    bool
+	OnDeliver func(at sim.Time)
+	OnAck     func(at sim.Time)
+}
+
+// Flow is a unidirectional reliable ordered message pipeline between two
+// ports (one QP's send direction). Messages injected on one flow are
+// processed strictly in order; distinct flows contend for the shared link
+// at burst granularity.
+type Flow struct {
+	fab *Fabric
+	src *Port
+	dst *Port
+
+	queue  []*flowMsg
+	active bool
+
+	// paceFreeAt is when the flow may inject its next burst (per-QP rate).
+	paceFreeAt sim.Time
+	// msgFreeAt is when the flow may begin processing its next WR.
+	msgFreeAt sim.Time
+}
+
+type flowMsg struct {
+	msg         Message
+	remaining   int
+	lastArrival sim.Time
+}
+
+// NewFlow creates a flow from src to dst. Loopback (src == dst) is allowed.
+func (f *Fabric) NewFlow(src, dst *Port) *Flow {
+	if src == nil || dst == nil {
+		panic("fabric: NewFlow with nil port")
+	}
+	if src.fab != f || dst.fab != f {
+		panic("fabric: NewFlow ports belong to a different fabric")
+	}
+	return &Flow{fab: f, src: src, dst: dst}
+}
+
+// Src returns the sending port.
+func (fl *Flow) Src() *Port { return fl.src }
+
+// Dst returns the receiving port.
+func (fl *Flow) Dst() *Port { return fl.dst }
+
+// Queued returns the number of messages not yet fully injected.
+func (fl *Flow) Queued() int { return len(fl.queue) }
+
+// Send enqueues a message on the flow. Zero-byte messages still traverse
+// the wire (headers move). Negative sizes panic.
+func (fl *Flow) Send(m Message) {
+	if m.Bytes < 0 {
+		panic("fabric: negative message size")
+	}
+	fl.src.msgsSent++
+	fl.src.bytesSent += int64(m.Bytes)
+	fl.queue = append(fl.queue, &flowMsg{msg: m, remaining: m.Bytes})
+	if !fl.active {
+		fl.active = true
+		fl.startHead()
+	}
+}
+
+// startHead begins WR processing for the message at the head of the queue.
+func (fl *Flow) startHead() {
+	e := fl.fab.eng
+	start := e.Now()
+	if fl.msgFreeAt > start {
+		start = fl.msgFreeAt
+	}
+	proc := fl.fab.cfg.WRProcess
+	if fl.queue[0].msg.Inline {
+		proc = fl.fab.cfg.InlineWRProcess
+	}
+	injectAt := start.Add(proc)
+	if fl.paceFreeAt > injectAt {
+		injectAt = fl.paceFreeAt
+	}
+	e.At(injectAt, fl.step)
+}
+
+// step injects one burst of the head message, then schedules the next
+// action. It runs as an engine event.
+func (fl *Flow) step() {
+	e := fl.fab.eng
+	cfg := fl.fab.cfg
+	fm := fl.queue[0]
+
+	// Zero-byte messages occupy the link for their header only.
+	burst := fm.remaining
+	if burst > cfg.BurstBytes {
+		burst = cfg.BurstBytes
+	}
+	packets := loggp.Packets(burst, cfg.MTU)
+	wireBytes := burst + packets*cfg.PacketHeader
+
+	// Grab the shared egress link (FIFO cursor).
+	grant := e.Now()
+	if fl.src.egressFreeAt > grant {
+		grant = fl.src.egressFreeAt
+	}
+	tx := time.Duration(float64(wireBytes) * cfg.LinkByteTime)
+	egressEnd := grant.Add(tx)
+	fl.src.egressFreeAt = egressEnd
+
+	// Per-flow pacing for the next burst.
+	pace := time.Duration(float64(burst) * cfg.PerQPByteTime)
+	fl.paceFreeAt = grant.Add(pace)
+	if fl.paceFreeAt < egressEnd {
+		fl.paceFreeAt = egressEnd
+	}
+
+	// Ingress serialization at the destination.
+	arrive := egressEnd.Add(cfg.WireLatency)
+	if fl.dst.ingressFreeAt > arrive {
+		arrive = fl.dst.ingressFreeAt
+	}
+	fl.dst.ingressFreeAt = arrive
+	if arrive > fm.lastArrival {
+		fm.lastArrival = arrive
+	}
+
+	fm.remaining -= burst
+	if fm.remaining > 0 {
+		e.At(fl.paceFreeAt, fl.step)
+		return
+	}
+
+	// Message fully injected: finalize delivery and completion.
+	fl.finish(fm, egressEnd)
+}
+
+// finish schedules delivery/ack callbacks and advances to the next message.
+func (fl *Flow) finish(fm *flowMsg, egressEnd sim.Time) {
+	e := fl.fab.eng
+	cfg := fl.fab.cfg
+	fl.msgFreeAt = egressEnd.Add(cfg.MsgGap)
+
+	dst, bytes := fl.dst, fm.msg.Bytes
+	arrival := fm.lastArrival
+	if deliver := fm.msg.OnDeliver; deliver != nil {
+		e.At(arrival, func() {
+			dst.bytesReceived += int64(bytes)
+			deliver(arrival)
+		})
+	} else {
+		e.At(arrival, func() { dst.bytesReceived += int64(bytes) })
+	}
+	if ack := fm.msg.OnAck; ack != nil {
+		ackAt := arrival.Add(cfg.AckLatency)
+		e.At(ackAt, func() { ack(ackAt) })
+	}
+
+	fl.queue = fl.queue[1:]
+	if len(fl.queue) == 0 {
+		fl.active = false
+		return
+	}
+	fl.startHead()
+}

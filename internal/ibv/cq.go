@@ -1,0 +1,151 @@
+package ibv
+
+import "repro/internal/sim"
+
+// Status is a work-completion status code.
+type Status int
+
+// Work-completion statuses, mirroring ibv_wc_status.
+const (
+	StatusSuccess Status = iota
+	// StatusLocProtErr: a local buffer violated its memory region.
+	StatusLocProtErr
+	// StatusRemAccessErr: the remote range or rkey was invalid.
+	StatusRemAccessErr
+	// StatusRNRRetryExceeded: the responder had no receive WR posted.
+	StatusRNRRetryExceeded
+	// StatusLenErr: an inbound message overran the receive buffer.
+	StatusLenErr
+	// StatusWRFlushErr: the WR was flushed when the QP entered the error
+	// state.
+	StatusWRFlushErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusLocProtErr:
+		return "local protection error"
+	case StatusRemAccessErr:
+		return "remote access error"
+	case StatusRNRRetryExceeded:
+		return "RNR retry exceeded"
+	case StatusLenErr:
+		return "length error"
+	case StatusWRFlushErr:
+		return "WR flushed"
+	default:
+		return "unknown status"
+	}
+}
+
+// WCOpcode identifies what kind of work a completion reports.
+type WCOpcode int
+
+// Work-completion opcodes.
+const (
+	WCSend WCOpcode = iota
+	WCRDMAWrite
+	WCRDMARead
+	WCRecv
+	WCRecvRDMAWithImm
+)
+
+func (o WCOpcode) String() string {
+	switch o {
+	case WCSend:
+		return "SEND"
+	case WCRDMAWrite:
+		return "RDMA_WRITE"
+	case WCRDMARead:
+		return "RDMA_READ"
+	case WCRecv:
+		return "RECV"
+	case WCRecvRDMAWithImm:
+		return "RECV_RDMA_WITH_IMM"
+	default:
+		return "unknown opcode"
+	}
+}
+
+// WC is a work completion.
+type WC struct {
+	WRID    uint64
+	Status  Status
+	Opcode  WCOpcode
+	ByteLen int
+	// Imm carries the immediate data for *_WITH_IMM opcodes; HasImm
+	// distinguishes a real zero immediate from absence.
+	Imm    uint32
+	HasImm bool
+	QPN    uint32
+}
+
+// CQ is a completion queue. Completions beyond the queue's depth are an
+// overrun: they are dropped and the overrun flag latches, as a CQ overrun
+// on hardware is unrecoverable.
+type CQ struct {
+	eng     *sim.Engine
+	depth   int
+	queue   []WC
+	overrun bool
+	cond    *sim.Cond
+	notify  func()
+}
+
+// SetNotify installs a callback invoked whenever a completion is added —
+// the equivalent of arming a completion channel with ibv_req_notify_cq.
+// The callback runs at event context and must not block.
+func (cq *CQ) SetNotify(fn func()) { cq.notify = fn }
+
+// push appends a completion, latching overrun when the queue is full.
+func (cq *CQ) push(wc WC) {
+	if len(cq.queue) >= cq.depth {
+		cq.overrun = true
+		return
+	}
+	cq.queue = append(cq.queue, wc)
+	cq.cond.Broadcast()
+	if cq.notify != nil {
+		cq.notify()
+	}
+}
+
+// Poll drains up to len(dst) completions into dst and returns how many were
+// written, as ibv_poll_cq does. Polling costs no virtual time; callers that
+// model CPU cost per completion (the MPI progress engine) charge it
+// themselves.
+func (cq *CQ) Poll(dst []WC) int {
+	n := copy(dst, cq.queue)
+	cq.queue = cq.queue[n:]
+	if len(cq.queue) == 0 {
+		cq.queue = nil
+	}
+	return n
+}
+
+// Len reports the number of completions waiting to be polled.
+func (cq *CQ) Len() int { return len(cq.queue) }
+
+// Overrun reports whether a completion was ever dropped for lack of space.
+func (cq *CQ) Overrun() bool { return cq.overrun }
+
+// WaitNotEmpty parks the proc until the CQ holds at least one completion.
+// It is the simulation's stand-in for blocking on a completion channel;
+// polling loops use it to avoid spinning in virtual time.
+func (cq *CQ) WaitNotEmpty(p *sim.Proc) {
+	for len(cq.queue) == 0 {
+		cq.cond.Wait(p)
+	}
+}
+
+// WaitNotEmptyTimeout parks the proc until a completion arrives or d
+// elapses, reporting true if a completion is available.
+func (cq *CQ) WaitNotEmptyTimeout(p *sim.Proc, d sim.Time) bool {
+	if len(cq.queue) > 0 {
+		return true
+	}
+	cq.cond.WaitTimeout(p, d.Duration())
+	return len(cq.queue) > 0
+}

@@ -1,0 +1,140 @@
+// Package mpi is the miniature MPI runtime the partitioned-communication
+// module (internal/core) plugs into: a world of ranks placed on cluster
+// nodes, a per-rank single-threaded progress engine with the try-lock
+// discipline the paper describes in Section IV-A, a control plane for
+// connection establishment and matching, and a barrier.
+//
+// It is deliberately the substrate, not the contribution: point-to-point
+// data movement lives in internal/ucx and the MPI Partitioned interface in
+// internal/core.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// SoftwareCosts models the CPU path lengths of the MPI library itself —
+// the costs that differentiate posting one aggregated work request from
+// posting 32 small ones even when the wire is idle.
+type SoftwareCosts struct {
+	// WCProcess is charged per work completion drained by the progress
+	// engine (CQ poll, request lookup, flag update).
+	WCProcess time.Duration
+	// PostOverhead is charged per ibv_post_send of a pre-built work
+	// request (the doorbell path the partitioned module uses — the WRs
+	// are created at init time, Section IV-B).
+	PostOverhead time.Duration
+	// PreadyOverhead is charged per MPI_Pready (the atomic add-and-fetch
+	// on the transport-partition flag array).
+	PreadyOverhead time.Duration
+	// PostLockHold is the length of the library-wide critical section
+	// around the traditional (baseline) send path; concurrent posters
+	// serialize on it — the lock contention the paper's 128-partition
+	// runs expose.
+	PostLockHold time.Duration
+	// RecvPostOverhead is charged per receive work request replenished in
+	// MPI_Start.
+	RecvPostOverhead time.Duration
+	// StartOverhead is charged per MPI_Start call (request reset, flag
+	// clearing).
+	StartOverhead time.Duration
+	// CtrlProcess is charged per control-plane message handled.
+	CtrlProcess time.Duration
+}
+
+// DefaultCosts returns the software cost model used throughout the
+// evaluation.
+func DefaultCosts() SoftwareCosts {
+	return SoftwareCosts{
+		WCProcess:        100 * time.Nanosecond,
+		PostOverhead:     150 * time.Nanosecond,
+		PreadyOverhead:   60 * time.Nanosecond,
+		PostLockHold:     250 * time.Nanosecond,
+		RecvPostOverhead: 100 * time.Nanosecond,
+		StartOverhead:    500 * time.Nanosecond,
+		CtrlProcess:      200 * time.Nanosecond,
+	}
+}
+
+// Config describes an MPI job.
+type Config struct {
+	// Cluster is the machine shape.
+	Cluster cluster.Config
+	// RanksPerNode places this many ranks on each node; total world size
+	// is Cluster.Nodes * RanksPerNode. Zero selects 1.
+	RanksPerNode int
+	// Costs is the library software cost model; the zero value selects
+	// DefaultCosts.
+	Costs SoftwareCosts
+}
+
+// World is one MPI job: a set of ranks on a cluster.
+type World struct {
+	cluster *cluster.Cluster
+	ranks   []*Rank
+	costs   SoftwareCosts
+}
+
+// NewWorld builds the job and its ranks. It panics on invalid
+// configuration (construction-time programming error).
+func NewWorld(cfg Config) *World {
+	if cfg.RanksPerNode == 0 {
+		cfg.RanksPerNode = 1
+	}
+	if cfg.RanksPerNode < 0 {
+		panic(fmt.Sprintf("mpi: negative RanksPerNode %d", cfg.RanksPerNode))
+	}
+	if cfg.Costs == (SoftwareCosts{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	c := cluster.New(cfg.Cluster)
+	w := &World{cluster: c, costs: cfg.Costs}
+	for n, node := range c.Nodes {
+		for j := 0; j < cfg.RanksPerNode; j++ {
+			w.ranks = append(w.ranks, newRank(w, n*cfg.RanksPerNode+j, node))
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Cluster returns the underlying machine.
+func (w *World) Cluster() *cluster.Cluster { return w.cluster }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.cluster.Engine }
+
+// Costs returns the software cost model.
+func (w *World) Costs() SoftwareCosts { return w.costs }
+
+// Launch spawns one proc per rank running body and returns a Group that
+// becomes zero when every rank's body has returned. Run the engine to
+// completion (or wait on the group from another proc) to execute the job.
+func (w *World) Launch(body func(p *sim.Proc, r *Rank)) *sim.Group {
+	g := sim.NewGroup(w.Engine())
+	g.Add(len(w.ranks))
+	for _, r := range w.ranks {
+		r := r
+		w.Engine().Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			defer g.Done()
+			body(p, r)
+		})
+	}
+	return g
+}
+
+// Run launches body on every rank and drives the simulation to completion,
+// returning the first error (proc panic or deadlock).
+func (w *World) Run(body func(p *sim.Proc, r *Rank)) error {
+	w.Launch(body)
+	return w.Engine().Run()
+}

@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/ibv"
+	"repro/internal/sim"
+)
+
+// ctrlEnvelope is the wire format of control-plane messages.
+type ctrlEnvelope struct {
+	kind string
+	from int
+	data any
+}
+
+// Rank is one MPI process. All verbs resources of a rank hang off a single
+// device context and protection domain, with one send and one receive CQ
+// shared by every QP the rank creates — the layout the paper's module uses.
+type Rank struct {
+	w    *World
+	id   int
+	node *cluster.Node
+
+	ctx    *ibv.Context
+	pd     *ibv.PD
+	sendCQ *ibv.CQ
+	recvCQ *ibv.CQ
+
+	// progressBusy implements the paper's single-threaded progress engine:
+	// MPI_Parrived "tries to acquire a lock; if successful it progresses
+	// all MPI messages ... otherwise it just returns".
+	progressBusy bool
+
+	// activity wakes procs blocked in WaitOn when completions or control
+	// messages arrive.
+	activity *sim.Cond
+
+	wcHandlers   map[uint32]func(p *sim.Proc, wc ibv.WC)
+	ctrlHandlers map[string]func(from int, data any)
+
+	// postLock serializes the library's post path (per-endpoint critical
+	// section); oversubscribed threads contend here.
+	postLock *sim.Resource
+
+	barrier *barrierState
+
+	// Stats.
+	wcProcessed int64
+	ctrlHandled int64
+}
+
+func newRank(w *World, id int, node *cluster.Node) *Rank {
+	ctx := node.HCA.Open()
+	r := &Rank{
+		w:            w,
+		id:           id,
+		node:         node,
+		ctx:          ctx,
+		pd:           ctx.AllocPD(),
+		sendCQ:       ctx.CreateCQ(1 << 16),
+		recvCQ:       ctx.CreateCQ(1 << 16),
+		activity:     sim.NewCond(w.Engine()),
+		wcHandlers:   make(map[uint32]func(*sim.Proc, ibv.WC)),
+		ctrlHandlers: make(map[string]func(int, any)),
+		postLock:     sim.NewResource(w.Engine(), 1),
+		barrier:      &barrierState{release: sim.NewCond(w.Engine())},
+	}
+	node.HCA.Port().SetControlHandler(r.onCtrl)
+	// Completions arriving on either CQ wake procs blocked in WaitOn, as a
+	// completion channel would.
+	r.sendCQ.SetNotify(r.activity.Broadcast)
+	r.recvCQ.SetNotify(r.activity.Broadcast)
+	r.initBarrierHandlers()
+	return r
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// World returns the job this rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Node returns the compute node hosting the rank.
+func (r *Rank) Node() *cluster.Node { return r.node }
+
+// PD returns the rank's protection domain.
+func (r *Rank) PD() *ibv.PD { return r.pd }
+
+// Context returns the rank's device context.
+func (r *Rank) Context() *ibv.Context { return r.ctx }
+
+// SendCQ returns the CQ shared by all send queues of the rank.
+func (r *Rank) SendCQ() *ibv.CQ { return r.sendCQ }
+
+// RecvCQ returns the CQ shared by all receive queues of the rank.
+func (r *Rank) RecvCQ() *ibv.CQ { return r.recvCQ }
+
+// Compute runs d of single-core application work (queuing for a core).
+func (r *Rank) Compute(p *sim.Proc, d time.Duration) {
+	r.node.Compute(p, d)
+}
+
+// WCProcessed reports completions drained by this rank's progress engine.
+func (r *Rank) WCProcessed() int64 { return r.wcProcessed }
+
+// HandleQP routes completions carrying the QP's number (on either CQ) to
+// fn. Completions for unregistered QPs panic: they indicate a runtime bug.
+func (r *Rank) HandleQP(qp *ibv.QP, fn func(p *sim.Proc, wc ibv.WC)) {
+	r.wcHandlers[qp.QPN()] = fn
+}
+
+// HandleCtrl registers the handler for control messages of the given kind.
+func (r *Rank) HandleCtrl(kind string, fn func(from int, data any)) {
+	if _, dup := r.ctrlHandlers[kind]; dup {
+		panic(fmt.Sprintf("mpi: duplicate control handler %q", kind))
+	}
+	r.ctrlHandlers[kind] = fn
+}
+
+// SendCtrl delivers (kind, data) to the destination rank's registered
+// handler over the fabric control plane.
+func (r *Rank) SendCtrl(dst int, kind string, data any) {
+	dstRank := r.w.ranks[dst]
+	r.node.HCA.Port().SendControl(dstRank.node.HCA.Port(), ctrlEnvelope{kind: kind, from: r.id, data: data})
+}
+
+// onCtrl dispatches an arriving control message. Handlers run at event
+// context (no proc): they must only do bookkeeping and wake waiters.
+func (r *Rank) onCtrl(_ *fabric.Port, payload any) {
+	env := payload.(ctrlEnvelope)
+	h, ok := r.ctrlHandlers[env.kind]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d: no handler for control kind %q", r.id, env.kind))
+	}
+	r.ctrlHandled++
+	h(env.from, env.data)
+	r.activity.Broadcast()
+}
+
+// Progress drains both CQs, charging WCProcess per completion and
+// dispatching each to its QP handler. It returns false immediately if
+// another thread holds the progress lock (the paper's try-lock), and
+// reports whether any completion was processed otherwise.
+func (r *Rank) Progress(p *sim.Proc) bool {
+	if r.progressBusy {
+		return false
+	}
+	r.progressBusy = true
+	worked := false
+	var wcs [64]ibv.WC
+	for {
+		n := r.recvCQ.Poll(wcs[:])
+		if n == 0 {
+			n = r.sendCQ.Poll(wcs[:])
+		}
+		if n == 0 {
+			break
+		}
+		for _, wc := range wcs[:n] {
+			p.Sleep(r.w.costs.WCProcess)
+			r.wcProcessed++
+			h, ok := r.wcHandlers[wc.QPN]
+			if !ok {
+				r.progressBusy = false
+				panic(fmt.Sprintf("mpi: rank %d: completion for unregistered QPN %d: %+v", r.id, wc.QPN, wc))
+			}
+			h(p, wc)
+		}
+		worked = true
+	}
+	r.progressBusy = false
+	if worked {
+		r.activity.Broadcast()
+	}
+	return worked
+}
+
+// WaitOn blocks the proc until pred() holds, progressing the rank's
+// communication while it waits. This is the engine under MPI_Wait,
+// MPI_Test-in-a-loop, and the first-Start readiness poll.
+func (r *Rank) WaitOn(p *sim.Proc, pred func() bool) {
+	for !pred() {
+		if r.Progress(p) {
+			continue
+		}
+		if pred() {
+			return
+		}
+		// Nothing to progress (or another thread owns the lock): park
+		// until completions or control traffic arrive.
+		r.activity.Wait(p)
+	}
+}
+
+// PostLocked runs fn inside the library's per-rank post critical section,
+// charging the configured hold time. Concurrent posters serialize.
+func (r *Rank) PostLocked(p *sim.Proc, fn func()) {
+	r.postLock.Acquire(p)
+	p.Sleep(r.w.costs.PostLockHold)
+	fn()
+	r.postLock.Release()
+}
+
+// PostLock exposes the post critical section for callers whose locked
+// region must itself consume virtual time (e.g. protocol layers that charge
+// copy costs while holding the lock).
+func (r *Rank) PostLock() *sim.Resource { return r.postLock }
+
+// Wake broadcasts the rank's activity condition; modules use it after
+// updating state that WaitOn predicates observe from other procs.
+func (r *Rank) Wake() { r.activity.Broadcast() }

@@ -1,0 +1,270 @@
+// Package mpipcl is a portable, layered implementation of MPI Partitioned
+// communication built purely on point-to-point messages — the approach of
+// Bangalore et al. (EuroMPI'20) and Worley et al. (ICPP Workshops'21),
+// released as the MPIPCL library that the paper's benchmark suite was
+// originally written against (Section V-A: "We modified the public
+// benchmarks listed in [14], to use Open MPI rather than the MPIPCL").
+//
+// Where the native module (internal/core) maps partitions onto verbs work
+// requests directly, this layer sends each user partition as an ordinary
+// tagged message. It exists for the comparison the paper's related work
+// discusses: Worley et al. found "minimal difference between the layered
+// library approach and the Open MPI persistent MCA module", a claim the
+// ablation-layered experiment checks against this codebase's baseline.
+//
+// Request setup is exchanged with a handshake message; each partition of
+// round r travels with tag base + (r mod RoundRing)*parts + i, a tag-ring
+// that keeps consecutive rounds' messages apart (MPIPCL relies on MPI
+// ordering the same way). At most RoundRing-1 rounds may be in flight.
+package mpipcl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/pt2pt"
+	"repro/internal/sim"
+)
+
+// Tag-space layout: the layered protocol lives far above application tags
+// and below the collectives' space.
+const (
+	tagSetupBase = 1 << 22
+	tagDataBase  = 1 << 23
+	// RoundRing is how many consecutive rounds get distinct tag sets; the
+	// application must not run more than RoundRing-1 rounds ahead of the
+	// receiver.
+	RoundRing = 8
+	// maxRequests bounds concurrent layered requests per rank pair.
+	maxRequests = 1 << 10
+)
+
+// Psend is a layered persistent partitioned send request.
+type Psend struct {
+	c         *pt2pt.Comm
+	buf       []byte
+	userParts int
+	partBytes int
+	dest      int
+	tag       int
+
+	baseTag int
+	acked   bool
+	ackReq  *pt2pt.RecvReq
+
+	round int
+	sent  []bool
+	nSent int
+}
+
+// Precv is a layered persistent partitioned receive request.
+type Precv struct {
+	c         *pt2pt.Comm
+	buf       []byte
+	userParts int
+	partBytes int
+	source    int
+	tag       int
+
+	baseTag   int
+	setup     *pt2pt.RecvReq
+	setupData []byte
+
+	round int
+	reqs  []*pt2pt.RecvReq
+}
+
+// setupPayload carries the sender's data-tag base and shape.
+func setupPayload(baseTag, parts, bytes int) []byte {
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out[0:], uint64(baseTag))
+	binary.LittleEndian.PutUint64(out[8:], uint64(parts))
+	binary.LittleEndian.PutUint64(out[16:], uint64(bytes))
+	return out
+}
+
+func parseSetup(b []byte) (baseTag, parts, bytes int) {
+	return int(binary.LittleEndian.Uint64(b[0:])),
+		int(binary.LittleEndian.Uint64(b[8:])),
+		int(binary.LittleEndian.Uint64(b[16:]))
+}
+
+// allocBase hands out the per-Comm data-tag region. The registry is
+// package-level (the layered library keeps no per-rank runtime object);
+// the mutex covers use from multiple simulations in one process.
+var (
+	baseAllocMu sync.Mutex
+	baseAlloc   = map[*pt2pt.Comm]int{}
+)
+
+func allocBase(c *pt2pt.Comm, parts int) int {
+	baseAllocMu.Lock()
+	defer baseAllocMu.Unlock()
+	idx := baseAlloc[c]
+	baseAlloc[c]++
+	if idx >= maxRequests {
+		panic("mpipcl: too many layered requests on one rank")
+	}
+	// Each request reserves RoundRing*parts tags.
+	return tagDataBase + idx*(RoundRing*parts)
+}
+
+// PsendInit initializes a layered partitioned send. The handshake (setup
+// message out, ack back) is posted immediately and completes
+// asynchronously; the first Start waits for the ack, mirroring the
+// helper-thread design of the portable library.
+func PsendInit(p *sim.Proc, c *pt2pt.Comm, buf []byte, partitions, dest, tag int) (*Psend, error) {
+	if len(buf) == 0 || partitions < 1 || len(buf)%partitions != 0 {
+		return nil, fmt.Errorf("mpipcl: buffer of %d bytes not divisible into %d partitions", len(buf), partitions)
+	}
+	ps := &Psend{
+		c:         c,
+		buf:       buf,
+		userParts: partitions,
+		partBytes: len(buf) / partitions,
+		dest:      dest,
+		tag:       tag,
+		baseTag:   allocBase(c, partitions),
+		sent:      make([]bool, partitions),
+	}
+	if _, err := c.Isend(p, setupPayload(ps.baseTag, partitions, len(buf)), dest, tagSetupBase+tag); err != nil {
+		return nil, err
+	}
+	ack, err := c.Irecv(p, make([]byte, 1), dest, tagSetupBase+tag)
+	if err != nil {
+		return nil, err
+	}
+	ps.ackReq = ack
+	return ps, nil
+}
+
+// PrecvInit initializes a layered partitioned receive; the setup message
+// is matched asynchronously.
+func PrecvInit(p *sim.Proc, c *pt2pt.Comm, buf []byte, partitions, source, tag int) (*Precv, error) {
+	if len(buf) == 0 || partitions < 1 || len(buf)%partitions != 0 {
+		return nil, fmt.Errorf("mpipcl: buffer of %d bytes not divisible into %d partitions", len(buf), partitions)
+	}
+	pr := &Precv{
+		c:         c,
+		buf:       buf,
+		userParts: partitions,
+		partBytes: len(buf) / partitions,
+		source:    source,
+		tag:       tag,
+	}
+	pr.setupData = make([]byte, 24)
+	setup, err := c.Irecv(p, pr.setupData, source, tagSetupBase+tag)
+	if err != nil {
+		return nil, err
+	}
+	pr.setup = setup
+	return pr, nil
+}
+
+// roundTag returns the wire tag of partition i in the request's round.
+func roundTag(base, round, parts, i int) int {
+	return base + (round%RoundRing)*parts + i
+}
+
+// Start arms the sender's next round (first call completes the handshake).
+func (ps *Psend) Start(p *sim.Proc) {
+	if !ps.acked {
+		ps.ackReq.Wait(p)
+		ps.acked = true
+	}
+	ps.round++
+	for i := range ps.sent {
+		ps.sent[i] = false
+	}
+	ps.nSent = 0
+}
+
+// Pready sends user partition i as one tagged message.
+func (ps *Psend) Pready(p *sim.Proc, i int) {
+	if i < 0 || i >= ps.userParts {
+		panic(fmt.Sprintf("mpipcl: Pready partition %d out of range", i))
+	}
+	if ps.sent[i] {
+		panic(fmt.Sprintf("mpipcl: Pready called twice for partition %d", i))
+	}
+	ps.sent[i] = true
+	tag := roundTag(ps.baseTag, ps.round, ps.userParts, i)
+	if _, err := ps.c.Isend(p, ps.buf[i*ps.partBytes:(i+1)*ps.partBytes], ps.dest, tag); err != nil {
+		panic(fmt.Sprintf("mpipcl: Pready send: %v", err))
+	}
+	ps.nSent++
+}
+
+// done reports sender-side round completion.
+func (ps *Psend) done() bool {
+	return ps.nSent == ps.userParts && ps.c.Quiescent()
+}
+
+// Wait blocks until every partition of the round has been sent and flushed.
+func (ps *Psend) Wait(p *sim.Proc) { ps.c.Rank().WaitOn(p, ps.done) }
+
+// Test progresses once and reports completion.
+func (ps *Psend) Test(p *sim.Proc) bool {
+	if !ps.done() {
+		ps.c.Rank().Progress(p)
+	}
+	return ps.done()
+}
+
+// Start arms the receiver's next round: one posted receive per partition
+// (first call completes the handshake and acks the sender).
+func (pr *Precv) Start(p *sim.Proc) {
+	if pr.setup != nil {
+		pr.setup.Wait(p)
+		baseTag, parts, bytes := parseSetup(pr.setupData)
+		if parts != pr.userParts || bytes != len(pr.buf) {
+			panic(fmt.Sprintf("mpipcl: setup mismatch: sender %d/%d, receiver %d/%d",
+				parts, bytes, pr.userParts, len(pr.buf)))
+		}
+		pr.baseTag = baseTag
+		if _, err := pr.c.Isend(p, []byte{1}, pr.source, tagSetupBase+pr.tag); err != nil {
+			panic(fmt.Sprintf("mpipcl: setup ack: %v", err))
+		}
+		pr.setup = nil
+	}
+	pr.round++
+	pr.reqs = pr.reqs[:0]
+	for i := 0; i < pr.userParts; i++ {
+		tag := roundTag(pr.baseTag, pr.round, pr.userParts, i)
+		req, err := pr.c.Irecv(p, pr.buf[i*pr.partBytes:(i+1)*pr.partBytes], pr.source, tag)
+		if err != nil {
+			panic(fmt.Sprintf("mpipcl: Start Irecv: %v", err))
+		}
+		pr.reqs = append(pr.reqs, req)
+	}
+}
+
+// Parrived reports whether partition i has arrived, progressing once.
+func (pr *Precv) Parrived(p *sim.Proc, i int) bool {
+	if i < 0 || i >= len(pr.reqs) {
+		panic(fmt.Sprintf("mpipcl: Parrived partition %d out of range", i))
+	}
+	return pr.reqs[i].Test(p)
+}
+
+// done reports receiver-side round completion.
+func (pr *Precv) done() bool {
+	for _, r := range pr.reqs {
+		if !r.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until every partition of the round has arrived.
+func (pr *Precv) Wait(p *sim.Proc) { pr.c.Rank().WaitOn(p, pr.done) }
+
+// Test progresses once and reports completion.
+func (pr *Precv) Test(p *sim.Proc) bool {
+	if !pr.done() {
+		pr.c.Rank().Progress(p)
+	}
+	return pr.done()
+}

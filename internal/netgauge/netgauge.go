@@ -1,0 +1,263 @@
+// Package netgauge reproduces the role Netgauge plays in the paper
+// (Section III): assessing LogGP parameters by running micro-benchmarks
+// over the MPI-level transport — not the raw verbs device — because that is
+// what the authors could run on Niagara. The parameters it produces are
+// therefore *measurements through a software stack*, and differ from the
+// fabric's true cost model in exactly the way the paper discusses when its
+// model predictions and hardware results diverge (Section V-B1).
+//
+// Method, loosely following Hoefler et al.'s LogGP assessment:
+//
+//   - one-way time from ping-pong round trips: ow(k) = RTT(k)/2;
+//   - G from the slope of ow over two large (rendezvous) sizes;
+//   - o_s as the CPU time the send call occupies the caller;
+//   - g from the arrival spacing of a back-to-back message train;
+//   - o_r as the receiver's per-message dispatch spacing when messages are
+//     queued (completion-processing limited);
+//   - L as the remainder ow(small) − o_s − o_r, clamped at zero.
+package netgauge
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ibv"
+	"repro/internal/loggp"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// Config controls the measurement.
+type Config struct {
+	// Warmup and Iters are per-experiment round counts. Zero selects 5
+	// and 20.
+	Warmup int
+	Iters  int
+	// TrainLen is the message-train length for gap measurement. Zero
+	// selects 16.
+	TrainLen int
+	// SmallBytes is the latency probe size. Zero selects 8.
+	SmallBytes int
+	// SlopeA and SlopeB are the two sizes used for the G slope. Zero
+	// selects 64 KiB and 256 KiB.
+	SlopeA int
+	SlopeB int
+	// Cluster overrides the machine shape; nil selects a two-node
+	// Niagara-like cluster. (Exposed so tests can measure a fabric with
+	// known parameters.)
+	Cluster *cluster.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Warmup == 0 {
+		c.Warmup = 5
+	}
+	if c.Iters == 0 {
+		c.Iters = 20
+	}
+	if c.TrainLen == 0 {
+		c.TrainLen = 16
+	}
+	if c.SmallBytes == 0 {
+		c.SmallBytes = 8
+	}
+	if c.SlopeA == 0 {
+		c.SlopeA = 64 << 10
+	}
+	if c.SlopeB == 0 {
+		c.SlopeB = 256 << 10
+	}
+	return c
+}
+
+// header values of the echo protocol.
+const (
+	hdrPing  = 1
+	hdrPong  = 2
+	hdrTrain = 3
+)
+
+// Run measures one LogGP parameter set.
+func Run(cfg Config) (loggp.Params, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SlopeB <= cfg.SlopeA {
+		return loggp.Params{}, fmt.Errorf("netgauge: slope sizes out of order: %d <= %d", cfg.SlopeB, cfg.SlopeA)
+	}
+
+	clCfg := cluster.NiagaraConfig(2)
+	if cfg.Cluster != nil {
+		clCfg = *cfg.Cluster
+	}
+	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
+	t0 := ucx.New(w.Rank(0), ucx.Config{})
+	t1 := ucx.New(w.Rank(1), ucx.Config{})
+
+	maxBytes := cfg.SlopeB
+	buf0 := make([]byte, maxBytes)
+	buf1 := make([]byte, maxBytes)
+	mr0, err := w.Rank(0).PD().RegMR(buf0)
+	if err != nil {
+		return loggp.Params{}, err
+	}
+	mr1, err := w.Rank(1).PD().RegMR(buf1)
+	if err != nil {
+		return loggp.Params{}, err
+	}
+
+	// Rank 0 side state.
+	pongs := 0
+	var trainArrivals []sim.Time
+	// pendingEcho hands rendezvous echo work from rank 1's control path to
+	// its server proc (serialized by the engine).
+	pendingEcho := 0
+	t0.SetEagerHandler(func(p *sim.Proc, from int, header uint64, data []byte) {
+		if header == hdrPong {
+			pongs++
+		}
+	})
+	t0.SetRndv(
+		func(from int, header uint64, size int) (*ibv.MR, int, bool) { return mr0, 0, true },
+		func(from int, header uint64, size int) {
+			if header == hdrPong {
+				pongs++
+			}
+		},
+	)
+
+	// Rank 1 is an echo/absorb server.
+	echo := func(p *sim.Proc, size int) {
+		t1.SendMR(p, 0, hdrPong, mr1, 0, size)
+	}
+	t1.SetEagerHandler(func(p *sim.Proc, from int, header uint64, data []byte) {
+		switch header {
+		case hdrPing:
+			echo(p, len(data))
+		case hdrTrain:
+			trainArrivals = append(trainArrivals, p.Now())
+		}
+	})
+	t1.SetRndv(
+		func(from int, header uint64, size int) (*ibv.MR, int, bool) { return mr1, 0, true },
+		func(from int, header uint64, size int) {
+			// Rendezvous completion is observed from the receiver's
+			// control path; the echo needs a proc, so record and let the
+			// server loop reply.
+			pendingEcho = size
+		},
+	)
+
+	var params loggp.Params
+
+	err = w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		switch r.ID() {
+		case 0:
+			params = measure(p, r, t0, cfg, mr0, &pongs, &trainArrivals)
+		case 1:
+			// Serve rendezvous echoes for as long as the measurement
+			// runs; the server is a daemon, so the simulation ends when
+			// rank 0 finishes.
+			p.SetDaemon()
+			for {
+				r.WaitOn(p, func() bool { return pendingEcho > 0 })
+				size := pendingEcho
+				pendingEcho = 0
+				echo(p, size)
+			}
+		}
+	})
+	if err != nil {
+		return loggp.Params{}, err
+	}
+	if err := params.Validate(); err != nil {
+		return params, fmt.Errorf("netgauge: implausible measurement: %w (%v)", err, params)
+	}
+	return params, nil
+}
+
+// measure runs on rank 0 and produces the parameter set.
+func measure(p *sim.Proc, r *mpi.Rank, tr *ucx.Transport, cfg Config, mr *ibv.MR, pongs *int, trainArrivals *[]sim.Time) loggp.Params {
+	pingpong := func(size int) time.Duration {
+		var total time.Duration
+		for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
+			want := *pongs + 1
+			start := p.Now()
+			tr.SendMR(p, 1, hdrPing, mr, 0, size)
+			r.WaitOn(p, func() bool { return *pongs >= want })
+			if i >= cfg.Warmup {
+				total += p.Now().Sub(start)
+			}
+		}
+		return total / time.Duration(cfg.Iters) / 2 // one-way
+	}
+
+	owSmall := pingpong(cfg.SmallBytes)
+	owA := pingpong(cfg.SlopeA)
+	owB := pingpong(cfg.SlopeB)
+	g := float64(owB-owA) / float64(cfg.SlopeB-cfg.SlopeA)
+	if g <= 0 {
+		// Degenerate fit (can happen with tiny iteration counts); fall
+		// back to the small/large slope.
+		g = float64(owB-owSmall) / float64(cfg.SlopeB-cfg.SmallBytes)
+	}
+
+	// Sender overhead: CPU time of the send call itself.
+	start := p.Now()
+	tr.SendMR(p, 1, hdrTrain, mr, 0, cfg.SmallBytes)
+	os := p.Now().Sub(start)
+
+	// Message train: inter-arrival spacing at the receiver bounds both the
+	// injection gap and the receiver's per-message processing.
+	*trainArrivals = (*trainArrivals)[:0]
+	for i := 0; i < cfg.TrainLen; i++ {
+		tr.SendMR(p, 1, hdrTrain, mr, 0, cfg.SmallBytes)
+	}
+	// The arrivals are recorded by the peer's progress engine, which emits
+	// no event on this rank; poll, as the real tool does.
+	for len(*trainArrivals) < cfg.TrainLen {
+		r.Progress(p)
+		p.Sleep(2 * time.Microsecond)
+	}
+	var spacing time.Duration
+	n := 0
+	for i := 1; i < len(*trainArrivals); i++ {
+		spacing += (*trainArrivals)[i].Sub((*trainArrivals)[i-1])
+		n++
+	}
+	if n > 0 {
+		spacing /= time.Duration(n)
+	}
+
+	or := spacing
+	l := owSmall - os - or
+	if l < 0 {
+		l = 0
+	}
+	return loggp.Params{L: l, Os: os, Or: or, Gap: spacing, G: g}
+}
+
+// MeasureTable measures a per-size parameter table (G fitted locally at
+// each size).
+func MeasureTable(cfg Config, sizes []int) (*loggp.Table, error) {
+	tb := loggp.NewTable()
+	for _, s := range sizes {
+		c := cfg
+		c.SlopeA = s
+		c.SlopeB = 2 * s
+		c.SmallBytes = min(s, 8<<10)
+		p, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("netgauge: size %d: %w", s, err)
+		}
+		tb.Set(s, p)
+	}
+	return tb, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package ploggp
+
+import (
+	"fmt"
+	"time"
+)
+
+// The PLogGP paper (Schonbein et al., ICPP 2023) analyses several partition
+// arrival patterns; the aggregation paper focuses on many-before-one
+// (CompletionTime), but the others are implemented here for model studies
+// and because the timer aggregator's benefit depends on which pattern a
+// workload exhibits.
+
+// ArrivalPattern identifies when partitions become ready relative to the
+// round start.
+type ArrivalPattern int
+
+const (
+	// ManyBeforeOne: all partitions ready at 0, one laggard at the delay —
+	// the paper's evaluation scenario (an OS-preempted thread).
+	ManyBeforeOne ArrivalPattern = iota
+	// OneBeforeMany: one partition ready at 0, the rest at the delay —
+	// e.g. a boundary thread finishing early.
+	OneBeforeMany
+	// Uniform: ready times evenly spaced across [0, delay].
+	Uniform
+	// Simultaneous: every partition ready at the delay (no early-bird
+	// opportunity at all; equivalent to a traditional send issued late).
+	Simultaneous
+)
+
+func (a ArrivalPattern) String() string {
+	switch a {
+	case ManyBeforeOne:
+		return "many-before-one"
+	case OneBeforeMany:
+		return "one-before-many"
+	case Uniform:
+		return "uniform"
+	case Simultaneous:
+		return "simultaneous"
+	default:
+		return "unknown pattern"
+	}
+}
+
+// ArrivalTimes returns the modelled ready time of each of n transport
+// partitions under the pattern, with the last-arriving partition at delay.
+func ArrivalTimes(pattern ArrivalPattern, n int, delay time.Duration) []time.Duration {
+	if n < 1 {
+		panic(fmt.Sprintf("ploggp: non-positive partition count %d", n))
+	}
+	out := make([]time.Duration, n)
+	switch pattern {
+	case ManyBeforeOne:
+		out[n-1] = delay
+	case OneBeforeMany:
+		for i := 1; i < n; i++ {
+			out[i] = delay
+		}
+	case Uniform:
+		if n > 1 {
+			for i := range out {
+				out[i] = delay * time.Duration(i) / time.Duration(n-1)
+			}
+		}
+	case Simultaneous:
+		for i := range out {
+			out[i] = delay
+		}
+	default:
+		panic(fmt.Sprintf("ploggp: unknown pattern %d", pattern))
+	}
+	return out
+}
+
+// CompletionTimePattern generalizes the pipelined model to any arrival
+// pattern: each transport partition is a k-byte message injected at the
+// later of its ready time and the sender pipeline becoming free (messages
+// serialize on the wire, separated by the LogGP gap), and the receiver
+// drains all n completions after the last arrival. Unlike the
+// ideal-overlap CompletionTime, this differentiates the patterns: arrivals
+// bunched at the deadline (Simultaneous) queue behind each other, spread
+// arrivals (ManyBeforeOne, Uniform) overlap with the delay.
+func (m *Model) CompletionTimePattern(pattern ArrivalPattern, n, totalBytes int, delay time.Duration) time.Duration {
+	if totalBytes <= 0 {
+		panic(fmt.Sprintf("ploggp: non-positive message size %d", totalBytes))
+	}
+	p := m.ParamsFor(totalBytes)
+	k := partitionBytes(totalBytes, n)
+	body := 0
+	if k > 0 {
+		body = k - 1
+	}
+	gb := p.ByteTime(body)
+	var cursor, lastArrival time.Duration
+	for _, ready := range ArrivalTimes(pattern, n, delay) {
+		start := ready
+		if cursor > start {
+			start = cursor
+		}
+		cursor = start + gb + p.MsgGap()
+		if arrive := start + p.Os + gb + p.L; arrive > lastArrival {
+			lastArrival = arrive
+		}
+	}
+	return lastArrival + time.Duration(n)*p.Or
+}
+
+// OptimalTransportPattern is OptimalTransport under an arbitrary pattern.
+func (m *Model) OptimalTransportPattern(pattern ArrivalPattern, totalBytes, userParts int, delay time.Duration) int {
+	if userParts < 1 {
+		userParts = 1
+	}
+	limit := userParts
+	if m.MaxTransport > 0 && m.MaxTransport < limit {
+		limit = m.MaxTransport
+	}
+	best, bestT := 1, m.CompletionTimePattern(pattern, 1, totalBytes, delay)
+	for n := 2; n <= limit; n *= 2 {
+		if t := m.CompletionTimePattern(pattern, n, totalBytes, delay); t < bestT {
+			best, bestT = n, t
+		}
+	}
+	return best
+}

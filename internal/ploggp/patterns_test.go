@@ -1,0 +1,125 @@
+package ploggp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestArrivalTimesShapes(t *testing.T) {
+	d := 4 * time.Millisecond
+	mbo := ArrivalTimes(ManyBeforeOne, 4, d)
+	if mbo[0] != 0 || mbo[1] != 0 || mbo[2] != 0 || mbo[3] != d {
+		t.Errorf("many-before-one = %v", mbo)
+	}
+	obm := ArrivalTimes(OneBeforeMany, 4, d)
+	if obm[0] != 0 || obm[1] != d || obm[3] != d {
+		t.Errorf("one-before-many = %v", obm)
+	}
+	uni := ArrivalTimes(Uniform, 5, d)
+	if uni[0] != 0 || uni[4] != d || uni[2] != d/2 {
+		t.Errorf("uniform = %v", uni)
+	}
+	sim := ArrivalTimes(Simultaneous, 3, d)
+	for _, v := range sim {
+		if v != d {
+			t.Errorf("simultaneous = %v", sim)
+		}
+	}
+}
+
+func TestArrivalTimesSinglePartition(t *testing.T) {
+	for _, pat := range []ArrivalPattern{ManyBeforeOne, OneBeforeMany, Uniform, Simultaneous} {
+		ts := ArrivalTimes(pat, 1, time.Millisecond)
+		if len(ts) != 1 {
+			t.Fatalf("%v: %v", pat, ts)
+		}
+		// With one partition: the "late" patterns place it at the delay,
+		// the "early" ones (the one early partition of OneBeforeMany, the
+		// degenerate Uniform) at zero.
+		want := time.Millisecond
+		if pat == OneBeforeMany || pat == Uniform {
+			want = 0
+		}
+		if ts[0] != want {
+			t.Errorf("%v single = %v, want %v", pat, ts[0], want)
+		}
+	}
+}
+
+func TestManyBeforeOnePatternMatchesDefaultModel(t *testing.T) {
+	// While the early train's wire time fits inside the delay (sizes up to
+	// a few MiB at 4 ms), the pipelined pattern model and the ideal
+	// early-bird model agree exactly; beyond that the pipelined variant is
+	// an upper bound.
+	m := niagaraModel()
+	f := func(sizeRaw uint32, nRaw uint8) bool {
+		size := int(sizeRaw%(8<<20)) + 1
+		n := 1 << (nRaw % 6)
+		d := 4 * time.Millisecond
+		pat := m.CompletionTimePattern(ManyBeforeOne, n, size, d)
+		ideal := m.CompletionTime(n, size, d)
+		return pat == ideal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Bound property at large sizes.
+	if m.CompletionTimePattern(ManyBeforeOne, 32, 256<<20, 4*time.Millisecond) <
+		m.CompletionTime(32, 256<<20, 4*time.Millisecond) {
+		t.Fatal("pipelined pattern model below the ideal bound")
+	}
+}
+
+func TestSimultaneousPatternRemovesEarlyBirdBenefit(t *testing.T) {
+	// When everything arrives together, splitting only adds o_r per
+	// message minus the smaller last-message wire time — for small sizes
+	// the optimum collapses to 1 partition at every size below the wire
+	// crossover.
+	m := niagaraModel()
+	d := 4 * time.Millisecond
+	if got := m.OptimalTransportPattern(Simultaneous, 1<<20, 32, d); got != 1 {
+		t.Errorf("simultaneous optimum at 1MiB = %d, want 1", got)
+	}
+	// Many-before-one at the same point wants 2 (Table I).
+	if got := m.OptimalTransportPattern(ManyBeforeOne, 1<<20, 32, d); got != 2 {
+		t.Errorf("many-before-one optimum at 1MiB = %d, want 2", got)
+	}
+}
+
+func TestUniformPatternBetweenExtremes(t *testing.T) {
+	// Uniform arrivals give less early-bird room than many-before-one but
+	// more than simultaneous: completion times must order accordingly for
+	// a multi-partition plan.
+	m := niagaraModel()
+	d := 4 * time.Millisecond
+	const n, size = 8, 32 << 20
+	mbo := m.CompletionTimePattern(ManyBeforeOne, n, size, d)
+	uni := m.CompletionTimePattern(Uniform, n, size, d)
+	sim := m.CompletionTimePattern(Simultaneous, n, size, d)
+	if !(mbo <= uni && uni <= sim) {
+		t.Fatalf("ordering violated: mbo=%v uni=%v sim=%v", mbo, uni, sim)
+	}
+}
+
+func TestPatternStringAndPanics(t *testing.T) {
+	for _, pat := range []ArrivalPattern{ManyBeforeOne, OneBeforeMany, Uniform, Simultaneous, ArrivalPattern(99)} {
+		if pat.String() == "" {
+			t.Errorf("empty string for %d", pat)
+		}
+	}
+	for name, fn := range map[string]func(){
+		"zero parts":      func() { ArrivalTimes(Uniform, 0, time.Second) },
+		"unknown pattern": func() { ArrivalTimes(ArrivalPattern(99), 2, time.Second) },
+		"zero size":       func() { niagaraModel().CompletionTimePattern(Uniform, 1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

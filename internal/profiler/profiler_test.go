@@ -1,0 +1,109 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func at(d time.Duration) sim.Time { return sim.Time(d) }
+
+func TestRecorderRoundLifecycle(t *testing.T) {
+	rec := New(4)
+	rec.PsendStart(1, at(0))
+	rec.PreadyCalled(1, 0, at(10*time.Microsecond))
+	rec.PreadyCalled(1, 1, at(20*time.Microsecond))
+	rec.PreadyCalled(1, 2, at(30*time.Microsecond))
+	rec.PreadyCalled(1, 3, at(5*time.Millisecond)) // laggard
+	if rec.Rounds() != 1 {
+		t.Fatalf("Rounds = %d", rec.Rounds())
+	}
+	r := rec.Round(0)
+	ct := r.ComputeTimes()
+	if ct[0] != 10*time.Microsecond || ct[3] != 5*time.Millisecond {
+		t.Fatalf("compute times = %v", ct)
+	}
+	if r.Laggard() != 3 {
+		t.Fatalf("laggard = %d", r.Laggard())
+	}
+	if r.Spread() != 20*time.Microsecond {
+		t.Fatalf("spread = %v, want 20µs (first to last non-laggard)", r.Spread())
+	}
+}
+
+func TestMinDeltaAveragesAndSkips(t *testing.T) {
+	rec := New(3)
+	// Round 1 (warm-up): spread 100µs. Round 2: spread 10µs. Round 3: 30µs.
+	spreads := []time.Duration{100 * time.Microsecond, 10 * time.Microsecond, 30 * time.Microsecond}
+	for round, spread := range spreads {
+		rec.PsendStart(round+1, at(0))
+		rec.PreadyCalled(round+1, 0, at(time.Microsecond))
+		rec.PreadyCalled(round+1, 1, at(time.Microsecond+spread))
+		rec.PreadyCalled(round+1, 2, at(time.Second)) // laggard
+	}
+	if got := rec.MinDelta(1); got != 20*time.Microsecond {
+		t.Fatalf("MinDelta(skip=1) = %v, want 20µs", got)
+	}
+	if got := rec.MinDelta(99); got != 0 {
+		t.Fatalf("MinDelta with no rounds = %v", got)
+	}
+}
+
+func TestMeanArrival(t *testing.T) {
+	rec := New(2)
+	for round := 1; round <= 2; round++ {
+		rec.PsendStart(round, at(time.Duration(round)*time.Millisecond))
+		rec.PreadyCalled(round, 0, at(time.Duration(round)*time.Millisecond+10*time.Microsecond))
+		rec.PreadyCalled(round, 1, at(time.Duration(round)*time.Millisecond+30*time.Microsecond))
+	}
+	m := rec.MeanArrival(0)
+	if m[0] != 10*time.Microsecond || m[1] != 30*time.Microsecond {
+		t.Fatalf("mean arrival = %v", m)
+	}
+}
+
+func TestRecorderPanicsOnMisuse(t *testing.T) {
+	cases := map[string]func(){
+		"zero parts":          func() { New(0) },
+		"round out of order":  func() { rec := New(1); rec.PsendStart(2, 0) },
+		"pready before start": func() { rec := New(1); rec.PreadyCalled(1, 0, 0) },
+		"bad partition": func() {
+			rec := New(1)
+			rec.PsendStart(1, 0)
+			rec.PreadyCalled(1, 5, 0)
+		},
+		"duplicate pready": func() {
+			rec := New(1)
+			rec.PsendStart(1, 0)
+			rec.PreadyCalled(1, 0, 0)
+			rec.PreadyCalled(1, 0, 0)
+		},
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRoundOutOfRangeIsNil(t *testing.T) {
+	rec := New(1)
+	if rec.Round(0) != nil || rec.Round(-1) != nil {
+		t.Fatal("out-of-range Round not nil")
+	}
+}
+
+func TestSpreadSinglePartition(t *testing.T) {
+	rec := New(1)
+	rec.PsendStart(1, 0)
+	rec.PreadyCalled(1, 0, at(time.Millisecond))
+	if rec.Round(0).Spread() != 0 {
+		t.Fatal("single-partition spread must be 0")
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import "time"
+
+// Cond is a virtual-time condition variable. Procs wait on it; any code
+// (procs or event callbacks) may Signal or Broadcast. Unlike sync.Cond there
+// is no associated lock: the engine's serialized execution already makes
+// check-then-wait atomic, so the usual pattern is
+//
+//	for !condition {
+//	    cond.Wait(p)
+//	}
+//
+// with the condition re-checked after every wakeup.
+type Cond struct {
+	e       *Engine
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p        *Proc
+	done     bool // woken (signal or timeout) — ignore the other path
+	timedOut bool
+}
+
+// NewCond returns a condition variable bound to the engine.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait parks the proc until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.park("waiting on cond")
+}
+
+// WaitTimeout parks the proc until it is signaled or d elapses. It reports
+// true if the proc was signaled and false on timeout.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	timer := c.e.AfterFunc(d, func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		w.timedOut = true
+		c.remove(w)
+		w.p.dispatch()
+	})
+	p.park("waiting on cond (with timeout)")
+	timer.Stop()
+	return !w.timedOut
+}
+
+// Signal wakes the longest-waiting proc, if any. The woken proc runs after
+// already-pending same-time events.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.done {
+			continue
+		}
+		w.done = true
+		c.e.schedule(c.e.now, w.p.dispatch)
+		return
+	}
+}
+
+// Broadcast wakes all waiting procs in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		w.done = true
+		c.e.schedule(c.e.now, w.p.dispatch)
+	}
+}
+
+// Waiters reports how many procs are currently parked on the cond.
+func (c *Cond) Waiters() int {
+	n := 0
+	for _, w := range c.waiters {
+		if !w.done {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cond) remove(target *condWaiter) {
+	for i, w := range c.waiters {
+		if w == target {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Group waits for a collection of procs or activities to finish, like a
+// virtual-time sync.WaitGroup.
+type Group struct {
+	n    int
+	cond *Cond
+}
+
+// NewGroup returns a Group bound to the engine.
+func NewGroup(e *Engine) *Group { return &Group{cond: NewCond(e)} }
+
+// Add increments the outstanding-activity count by delta.
+func (g *Group) Add(delta int) {
+	g.n += delta
+	if g.n < 0 {
+		panic("sim: negative Group counter")
+	}
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+}
+
+// Done decrements the outstanding-activity count by one.
+func (g *Group) Done() { g.Add(-1) }
+
+// Wait parks the proc until the counter reaches zero.
+func (g *Group) Wait(p *Proc) {
+	for g.n > 0 {
+		g.cond.Wait(p)
+	}
+}
+
+// Count returns the current counter value.
+func (g *Group) Count() int { return g.n }

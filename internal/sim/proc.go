@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Proc is a simulated thread of execution: a goroutine that the engine
+// resumes one at a time. Code running inside a proc may block in virtual
+// time with Sleep, Cond.Wait, Resource.Acquire and friends; while blocked,
+// other procs and events run. Methods on Proc must only be called from the
+// proc's own body function.
+type Proc struct {
+	e          *Engine
+	name       string
+	resume     chan struct{}
+	yield      chan struct{}
+	done       bool
+	daemon     bool
+	parkReason string
+}
+
+// errProcExit is the sentinel panic value used by Exit for early return.
+type procExit struct{}
+
+// ProcError wraps a panic that escaped a proc body.
+type ProcError struct {
+	Proc  string
+	Value any
+	Stack string
+}
+
+func (e *ProcError) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked: %v\n%s", e.Proc, e.Value, e.Stack)
+}
+
+// Spawn creates a proc named name running fn, scheduled to start at the
+// current virtual time (after already-pending same-time events).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	go p.body(fn)
+	e.schedule(e.now, p.dispatch)
+	return p
+}
+
+// body is the goroutine wrapper around the user function.
+func (p *Proc) body(fn func(p *Proc)) {
+	<-p.resume
+	defer func() {
+		r := recover()
+		if r != nil {
+			if _, isExit := r.(procExit); !isExit {
+				p.e.fail(&ProcError{Proc: p.name, Value: r, Stack: string(debug.Stack())})
+			}
+		}
+		p.done = true
+		delete(p.e.live, p)
+		p.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// dispatch hands control to the proc and blocks until it parks or exits.
+// It runs on the engine's event loop.
+func (p *Proc) dispatch() {
+	if p.done {
+		return
+	}
+	prev := p.e.running
+	p.e.running = p
+	p.resume <- struct{}{}
+	<-p.yield
+	p.e.running = prev
+}
+
+// park returns control to the engine until the proc is dispatched again.
+func (p *Proc) park(reason string) {
+	p.parkReason = reason
+	p.yield <- struct{}{}
+	<-p.resume
+	p.parkReason = ""
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// SetDaemon marks the proc as a daemon: it may remain parked when the
+// simulation ends without triggering a DeadlockError. Use for background
+// service loops whose lifetime matches the whole simulation.
+func (p *Proc) SetDaemon() { p.daemon = true }
+
+// Done reports whether the proc's body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep blocks the proc for d of virtual time. Non-positive d yields the
+// processor (the proc is rescheduled behind already-pending same-time
+// events) without advancing the clock.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p.e.now.Add(d), p.dispatch)
+	p.park("sleeping")
+}
+
+// Yield reschedules the proc behind all currently pending same-time events,
+// giving other runnable procs a chance to execute at this instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Exit terminates the proc immediately, as if its body had returned.
+func (p *Proc) Exit() { panic(procExit{}) }

@@ -1,0 +1,74 @@
+package sim
+
+import "time"
+
+// Resource models a pool of identical servers (e.g. CPU cores) acquired in
+// FIFO order. A proc that cannot get a free server parks until one is
+// released. Use models the common grab-compute-release pattern; with more
+// runnable procs than servers, virtual completion times stretch exactly as
+// oversubscribed threads do on a real node.
+type Resource struct {
+	e       *Engine
+	servers int
+	inUse   int
+	queue   []*Proc
+	// peak tracks the maximum simultaneous occupancy, for tests/metrics.
+	peak int
+}
+
+// NewResource returns a resource with the given number of servers.
+func NewResource(e *Engine, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: Resource needs at least one server")
+	}
+	return &Resource{e: e, servers: servers}
+}
+
+// Servers returns the configured server count.
+func (r *Resource) Servers() int { return r.servers }
+
+// InUse returns the number of servers currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of procs waiting for a server.
+func (r *Resource) Queued() int { return len(r.queue) }
+
+// Peak returns the maximum simultaneous occupancy observed.
+func (r *Resource) Peak() int { return r.peak }
+
+// Acquire obtains a server, parking the proc FIFO if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.servers {
+		r.inUse++
+		if r.inUse > r.peak {
+			r.peak = r.inUse
+		}
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.park("waiting for resource")
+}
+
+// Release frees a server, handing it directly to the longest-waiting proc
+// if any. It may be called from procs or event callbacks.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		// Occupancy is unchanged: the server passes to next.
+		r.e.schedule(r.e.now, next.dispatch)
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release of an idle resource")
+	}
+	r.inUse--
+}
+
+// Use acquires a server, holds it for d of virtual time, and releases it.
+// This models executing d worth of work on one core.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourceSerializesBeyondCapacity(t *testing.T) {
+	// 4 procs, 2 servers, 1ms work each: finish in two waves at 1ms, 2ms.
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			r.Use(p, time.Millisecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{
+		Time(time.Millisecond), Time(time.Millisecond),
+		Time(2 * time.Millisecond), Time(2 * time.Millisecond),
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.Peak() != 2 {
+		t.Fatalf("peak = %d, want 2", r.Peak())
+	}
+	if r.InUse() != 0 || r.Queued() != 0 {
+		t.Fatalf("resource not drained: inUse=%d queued=%d", r.InUse(), r.Queued())
+	}
+}
+
+func TestResourceFIFOHandoff(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, name)
+			p.Sleep(time.Millisecond)
+			r.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceZeroServersPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-server resource did not panic")
+		}
+	}()
+	NewResource(e, 0)
+}
+
+// TestOversubscriptionStretch: n procs each doing d of work on c cores
+// finish no earlier than ceil(n/c)*d — the paper's 128-threads-on-40-cores
+// scenario relies on this behaviour.
+func TestOversubscriptionStretch(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		c := int(cRaw%8) + 1
+		e := NewEngine()
+		r := NewResource(e, c)
+		var last Time
+		for i := 0; i < n; i++ {
+			e.Spawn("w", func(p *Proc) {
+				r.Use(p, time.Millisecond)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		waves := (n + c - 1) / c
+		return last == Time(waves)*Time(time.Millisecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

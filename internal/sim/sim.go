@@ -1,0 +1,249 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an ordered event queue. Simulated
+// threads of execution ("procs", see Proc) are cooperative goroutines that
+// run one at a time: exactly one proc (or event callback) executes at any
+// instant, and control returns to the engine whenever a proc blocks in
+// virtual time (Sleep, Cond.Wait, Resource.Acquire, ...). This serialization
+// makes simulations fully deterministic and race-free while letting
+// simulated code read like ordinary imperative Go.
+//
+// All timestamps are of type Time (virtual nanoseconds since the start of
+// the simulation); durations use time.Duration. Executing Go code costs zero
+// virtual time — time advances only through explicit waits and scheduled
+// events, which is the standard LogGP-style simulation discipline used by
+// the rest of this repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the timestamp to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp in seconds since time zero.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros reports the timestamp in microseconds since time zero.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a single scheduled callback.
+type event struct {
+	at        Time
+	seq       uint64 // tiebreaker: FIFO among same-time events
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// non-daemon procs are still parked: nothing can ever wake them.
+type DeadlockError struct {
+	// Procs lists the name and park reason of each stuck proc.
+	Procs []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d proc(s) parked with no pending events: %v", len(e.Procs), e.Procs)
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	live    map[*Proc]struct{}
+	running *Proc
+	err     error
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// schedule enqueues fn to run at time at. Scheduling in the past is an
+// engine-usage bug and panics.
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run at the absolute virtual time at.
+func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now.Add(d), fn)
+}
+
+// Timer is a cancellable scheduled callback, analogous to time.Timer.
+type Timer struct {
+	e  *Engine
+	ev *event
+}
+
+// AfterFunc schedules fn to run d from now and returns a Timer that can
+// cancel it.
+func (e *Engine) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{e: e, ev: e.schedule(e.now.Add(d), fn)}
+}
+
+// Stop cancels the timer. It reports whether the callback was prevented
+// from running (false if it already ran or was already stopped).
+func (t *Timer) Stop() bool {
+	if t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or a proc fails. It returns
+// the first proc error (a propagated panic), a DeadlockError if non-daemon
+// procs remain parked with nothing to wake them, or nil.
+func (e *Engine) Run() error {
+	for e.err == nil && e.Step() {
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return e.checkDeadlock()
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// It returns the same errors as Run, except that parked procs are not a
+// deadlock if events remain beyond t.
+func (e *Engine) RunUntil(t Time) error {
+	for e.err == nil {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek: events[0] is the heap minimum.
+		if e.events[0].at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return nil
+}
+
+// checkDeadlock reports parked non-daemon procs when no events remain.
+func (e *Engine) checkDeadlock() error {
+	var stuck []string
+	for p := range e.live {
+		if p.daemon || p.done {
+			continue
+		}
+		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.parkReason))
+	}
+	if len(stuck) == 0 {
+		return nil
+	}
+	sort.Strings(stuck)
+	return &DeadlockError{Procs: stuck}
+}
+
+// fail records a proc failure; Run stops at the next step boundary.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Err returns the recorded proc failure, if any.
+func (e *Engine) Err() error { return e.err }

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine has %d pending events, want 0", e.Pending())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []time.Duration{30, 10, 20, 5, 25} {
+		d := d
+		e.After(d*time.Microsecond, func() { got = append(got, e.Now()) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+	if e.Now() != Time(30*time.Microsecond) {
+		t.Fatalf("final clock %v, want 30µs", e.Now())
+	}
+}
+
+func TestSameTimeEventsRunFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.After(time.Millisecond, func() {
+		trace = append(trace, "outer")
+		e.After(time.Millisecond, func() { trace = append(trace, "inner") })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != "outer" || trace[1] != "inner" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock = %v, want 2ms", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != 0 {
+		t.Fatalf("ran=%v now=%v, want true/0", ran, e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.AfterFunc(time.Millisecond, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine()
+	tm := e.AfterFunc(5*time.Millisecond, func() {})
+	if tm.When() != Time(5*time.Millisecond) {
+		t.Fatalf("When = %v, want 5ms", tm.When())
+	}
+	tm.Stop()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	var ran []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Millisecond
+		e.After(d, func() { ran = append(ran, d) })
+	}
+	if err := e.RunUntil(Time(2 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before boundary, want 2", len(ran))
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock %v, want 2ms", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(ran))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunUntil(Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("clock %v, want 1s", e.Now())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	base := Time(time.Millisecond)
+	if got := base.Add(time.Millisecond); got != Time(2*time.Millisecond) {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := Time(3 * time.Millisecond).Sub(base); got != 2*time.Millisecond {
+		t.Errorf("Sub: got %v", got)
+	}
+	if got := Time(1500).Micros(); got != 1.5 {
+		t.Errorf("Micros: got %v", got)
+	}
+	if got := Time(2e9).Seconds(); got != 2.0 {
+		t.Errorf("Seconds: got %v", got)
+	}
+	if got := Time(time.Second).String(); got != "1s" {
+		t.Errorf("String: got %q", got)
+	}
+}
+
+// TestEventOrderProperty: for any set of delays, events execute in
+// nondecreasing time order and the engine clock matches each event's
+// scheduled time.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		want := make([]int, len(delays))
+		for i, d := range delays {
+			at := Time(d) * Time(time.Microsecond)
+			want[i] = int(at)
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(seen) != len(delays) {
+			return false
+		}
+		sort.Ints(want)
+		for i := range seen {
+			if int(seen[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: two identical runs with interleaved procs produce the
+// same trace.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 8; i++ {
+			name := string(rune('a' + i))
+			e.Spawn(name, func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+					trace = append(trace, name)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

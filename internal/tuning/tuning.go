@@ -1,0 +1,172 @@
+// Package tuning implements the brute-force search behind the paper's
+// Tuning Table Aggregator (Section IV-B): for each (user partition count,
+// message size) point it runs the overhead benchmark across every
+// power-of-two (transport partitions, queue pairs) candidate and records
+// the fastest. The paper's search took just under 23 hours on two Niagara
+// nodes; in the simulator the same sweep takes seconds, but the algorithm
+// is identical — which is the point: it is the exhaustive baseline the
+// PLogGP model is judged against.
+package tuning
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// SearchConfig bounds the exhaustive search.
+type SearchConfig struct {
+	// UserParts are the partition counts to tune (paper: powers of two).
+	UserParts []int
+	// Sizes are the aggregate message sizes to tune.
+	Sizes []int
+	// MaxQPs caps the QP candidates. Zero selects 16.
+	MaxQPs int
+	// Warmup and Iters per candidate run. Zeros select 3 and 10 (scaled
+	// down from the paper's 100 iterations; the simulator is noiseless,
+	// so fewer repetitions identify the same argmin).
+	Warmup int
+	Iters  int
+	// Progress, if non-nil, is called once per (parts, size) point.
+	Progress func(parts, size int)
+}
+
+func (c SearchConfig) withDefaults() SearchConfig {
+	if c.MaxQPs == 0 {
+		c.MaxQPs = 16
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 3
+	}
+	if c.Iters == 0 {
+		c.Iters = 10
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c SearchConfig) Validate() error {
+	c = c.withDefaults()
+	if len(c.UserParts) == 0 || len(c.Sizes) == 0 {
+		return fmt.Errorf("tuning: empty search space")
+	}
+	for _, p := range c.UserParts {
+		if p < 1 {
+			return fmt.Errorf("tuning: bad partition count %d", p)
+		}
+	}
+	for _, s := range c.Sizes {
+		if s < 1 {
+			return fmt.Errorf("tuning: bad size %d", s)
+		}
+	}
+	if c.MaxQPs < 1 {
+		return fmt.Errorf("tuning: bad MaxQPs %d", c.MaxQPs)
+	}
+	return nil
+}
+
+// Search runs the exhaustive sweep and returns the winning table.
+func Search(cfg SearchConfig) (*core.TuningTable, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	table := core.NewTuningTable()
+	for _, parts := range cfg.UserParts {
+		for _, size := range cfg.Sizes {
+			if size%parts != 0 {
+				continue // not a realizable partitioning
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(parts, size)
+			}
+			best, err := searchPoint(cfg, parts, size)
+			if err != nil {
+				return nil, fmt.Errorf("tuning: point (%d parts, %d B): %w", parts, size, err)
+			}
+			table.Set(core.TuningKey{UserParts: parts, Bytes: size}, best)
+		}
+	}
+	return table, nil
+}
+
+// searchPoint evaluates every candidate at one point.
+func searchPoint(cfg SearchConfig, parts, size int) (core.TuningValue, error) {
+	var best core.TuningValue
+	bestTime := int64(-1)
+	for transport := 1; transport <= parts; transport *= 2 {
+		maxQ := transport
+		if maxQ > cfg.MaxQPs {
+			maxQ = cfg.MaxQPs
+		}
+		for qps := 1; qps <= maxQ; qps *= 2 {
+			res, err := bench.RunP2P(bench.P2PConfig{
+				Parts:  parts,
+				Bytes:  size,
+				Warmup: cfg.Warmup,
+				Iters:  cfg.Iters,
+				Opts: core.Options{
+					Strategy:       core.StrategyPLogGP, // grouping mechanics; counts forced below
+					TransportParts: transport,
+					QPs:            qps,
+				},
+			})
+			if err != nil {
+				return core.TuningValue{}, err
+			}
+			t := int64(res.MeanIterTime())
+			if bestTime < 0 || t < bestTime {
+				bestTime = t
+				best = core.TuningValue{Transport: transport, QPs: qps}
+			}
+		}
+	}
+	return best, nil
+}
+
+// WriteTable serializes a table as "userParts bytes transport qps" lines.
+func WriteTable(w io.Writer, t *core.TuningTable) error {
+	var err error
+	t.ForEach(func(k core.TuningKey, v core.TuningValue) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, "%d %d %d %d\n", k.UserParts, k.Bytes, v.Transport, v.QPs)
+	})
+	return err
+}
+
+// ReadTable parses the serialization produced by WriteTable.
+func ReadTable(r io.Reader) (*core.TuningTable, error) {
+	t := core.NewTuningTable()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var parts, bytes, transport, qps int
+		if _, err := fmt.Sscanf(text, "%d %d %d %d", &parts, &bytes, &transport, &qps); err != nil {
+			return nil, fmt.Errorf("tuning: line %d: %v", line, err)
+		}
+		if parts < 1 || bytes < 1 || transport < 1 || qps < 1 {
+			return nil, fmt.Errorf("tuning: line %d: non-positive field", line)
+		}
+		if transport > parts {
+			return nil, fmt.Errorf("tuning: line %d: transport %d exceeds partitions %d", line, transport, parts)
+		}
+		t.Set(core.TuningKey{UserParts: parts, Bytes: bytes},
+			core.TuningValue{Transport: transport, QPs: qps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

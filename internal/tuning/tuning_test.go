@@ -1,0 +1,124 @@
+package tuning
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSearchFindsAggregationForMediumMessages(t *testing.T) {
+	// At 128 KiB with 16 partitions, aggregation (transport < 16) must
+	// win the exhaustive search — the paper's core observation.
+	table, err := Search(SearchConfig{
+		UserParts: []int{16},
+		Sizes:     []int{128 << 10},
+		Warmup:    1,
+		Iters:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := table.Lookup(16, 128<<10)
+	if !ok {
+		t.Fatal("no entry for searched point")
+	}
+	if v.Transport >= 16 {
+		t.Errorf("search picked %d transport partitions at 128KiB; expected aggregation", v.Transport)
+	}
+	if v.QPs < 1 || v.QPs > v.Transport {
+		t.Errorf("bad QP pick %+v", v)
+	}
+}
+
+func TestSearchSkipsUnrealizablePoints(t *testing.T) {
+	table, err := Search(SearchConfig{
+		UserParts: []int{16},
+		Sizes:     []int{100}, // not divisible by 16
+		Warmup:    1, Iters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 0 {
+		t.Fatalf("unrealizable point produced %d entries", table.Len())
+	}
+}
+
+func TestSearchProgressCallback(t *testing.T) {
+	var visited int
+	_, err := Search(SearchConfig{
+		UserParts: []int{2},
+		Sizes:     []int{4096, 8192},
+		Warmup:    1, Iters: 1,
+		Progress: func(parts, size int) { visited++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 2 {
+		t.Fatalf("visited %d points, want 2", visited)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	bad := []SearchConfig{
+		{},
+		{UserParts: []int{0}, Sizes: []int{4096}},
+		{UserParts: []int{4}, Sizes: []int{0}},
+		{UserParts: []int{4}, Sizes: []int{4096}, MaxQPs: -1},
+	}
+	for i, c := range bad {
+		if _, err := Search(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTableSerializationRoundTrip(t *testing.T) {
+	table := core.NewTuningTable()
+	table.Set(core.TuningKey{UserParts: 16, Bytes: 4096}, core.TuningValue{Transport: 4, QPs: 2})
+	table.Set(core.TuningKey{UserParts: 32, Bytes: 65536}, core.TuningValue{Transport: 8, QPs: 8})
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, table); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip lost entries: %d", got.Len())
+	}
+	v, ok := got.Lookup(16, 4096)
+	if !ok || v != (core.TuningValue{Transport: 4, QPs: 2}) {
+		t.Fatalf("entry = %+v %v", v, ok)
+	}
+}
+
+func TestReadTableRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"1 2 3",      // too few fields
+		"x 2 3 4",    // non-numeric
+		"0 4096 1 1", // non-positive
+		"4 4096 8 1", // transport > partitions
+		"4 4096 2 0", // zero QPs
+	}
+	for _, c := range cases {
+		if _, err := ReadTable(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestReadTableSkipsComments(t *testing.T) {
+	in := "# generated\n\n16 4096 4 2\n"
+	tb, err := ReadTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}

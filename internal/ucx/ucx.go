@@ -1,0 +1,851 @@
+// Package ucx emulates the middleware layer the paper's baseline rides on:
+// Open MPI's persistent partitioned module sends each user partition as an
+// ordinary message through UCX, which picks a protocol by size —
+// eager/bcopy (copy through a bounce buffer), eager/zcopy (gather directly
+// from registered user memory), or rendezvous (RTS/CTS control exchange
+// followed by a direct RDMA write and a FIN notification).
+//
+// The protocol switch points are observable in the paper's Figure 8 as
+// speedup spikes ("1 KiB is the threshold where UCX switches from its
+// eager/bcopy to its eager/zcopy protocol"); reproducing the protocol
+// structure reproduces those artifacts.
+//
+// The unit of the API is an active message: Send/SendMR deliver (header,
+// payload) to the destination transport's handler from its progress
+// engine. Connections are established lazily per destination with a
+// control-plane handshake, like UCX wireup.
+package ucx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ibv"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Config selects protocol thresholds and copy costs.
+type Config struct {
+	// BcopyMax is the largest payload sent through the bounce-copy path.
+	// Zero selects 1 KiB (the threshold the paper observes in UCX).
+	BcopyMax int
+	// RndvThreshold is the largest eager payload; above it the rendezvous
+	// protocol runs. Zero selects 32 KiB.
+	RndvThreshold int
+	// CopyByteTime is the memcpy cost in ns/B for bcopy staging and
+	// receive-side copy-out. Zero selects 0.05 (20 GB/s).
+	CopyByteTime float64
+	// Slots is the bounce-slot count per endpoint direction. Zero
+	// selects 64.
+	Slots int
+	// Rails is the number of queue pairs per endpoint, used round-robin
+	// (UCX multi-rail); with the default fabric a single QP cannot
+	// saturate the link. Zero selects 2.
+	Rails int
+	// SendOverhead is the per-message CPU cost of the bcopy (small
+	// message) send fast path. Zero selects 120 ns.
+	SendOverhead time.Duration
+	// ZcopySendOverhead is the eager zero-copy send path cost (adds
+	// registration-cache handling). Zero selects 600 ns.
+	ZcopySendOverhead time.Duration
+	// RndvSendOverhead is the rendezvous initiation cost (request object,
+	// RTS build) — the protocol's round trips are modelled separately.
+	// Zero selects 900 ns.
+	RndvSendOverhead time.Duration
+	// AMProcess is the receive-side active-message handling cost for
+	// bcopy arrivals, on top of the raw completion poll. Zero selects
+	// 150 ns.
+	AMProcess time.Duration
+	// ZcopyAMProcess is the receive-side handling cost for zcopy-sized
+	// arrivals. Zero selects 500 ns.
+	ZcopyAMProcess time.Duration
+	// RndvRecvOverhead is the receiver-side CPU cost of each rendezvous
+	// protocol step (RTS handling/CTS build, and FIN handling), serialized
+	// on the receiver like its progress engine — the per-message cost that
+	// makes per-partition rendezvous traffic expensive for the baseline.
+	// Zero selects 2500 ns.
+	RndvRecvOverhead time.Duration
+	// Channel namespaces the transport's control messages so multiple
+	// transports (like multiple UCX workers) can coexist on one rank.
+	// Empty selects "ucx".
+	Channel string
+	// RndvScheme selects the rendezvous data mover, like UCX_RNDV_SCHEME:
+	// "get" (the receiver RDMA-reads the sender's memory directly from
+	// the RTS and completes locally; the default, as on RC fabrics) or
+	// "put" (sender RDMA-writes after a CTS grant, with a FIN that needs
+	// sender-side progress).
+	RndvScheme string
+}
+
+func (c Config) withDefaults() Config {
+	if c.BcopyMax == 0 {
+		c.BcopyMax = 1 << 10
+	}
+	if c.RndvThreshold == 0 {
+		c.RndvThreshold = 32 << 10
+	}
+	if c.CopyByteTime == 0 {
+		c.CopyByteTime = 0.05
+	}
+	if c.Slots == 0 {
+		c.Slots = 64
+	}
+	if c.Rails == 0 {
+		c.Rails = 2
+	}
+	if c.SendOverhead == 0 {
+		c.SendOverhead = 120 * time.Nanosecond
+	}
+	if c.ZcopySendOverhead == 0 {
+		c.ZcopySendOverhead = 600 * time.Nanosecond
+	}
+	if c.RndvSendOverhead == 0 {
+		c.RndvSendOverhead = 900 * time.Nanosecond
+	}
+	if c.AMProcess == 0 {
+		c.AMProcess = 150 * time.Nanosecond
+	}
+	if c.ZcopyAMProcess == 0 {
+		c.ZcopyAMProcess = 500 * time.Nanosecond
+	}
+	if c.RndvRecvOverhead == 0 {
+		c.RndvRecvOverhead = 2500 * time.Nanosecond
+	}
+	if c.Channel == "" {
+		c.Channel = "ucx"
+	}
+	if c.RndvScheme == "" {
+		c.RndvScheme = "get"
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.BcopyMax < 0 || c.RndvThreshold < c.BcopyMax:
+		return fmt.Errorf("ucx: thresholds out of order: bcopy %d, rndv %d", c.BcopyMax, c.RndvThreshold)
+	case c.CopyByteTime <= 0:
+		return errors.New("ucx: CopyByteTime must be positive")
+	case c.Slots < 1:
+		return errors.New("ucx: need at least one bounce slot")
+	case c.Rails < 1:
+		return errors.New("ucx: need at least one rail")
+	case c.Slots < c.Rails:
+		return errors.New("ucx: need at least one bounce slot per rail")
+	case c.SendOverhead < 0 || c.ZcopySendOverhead < 0 || c.RndvSendOverhead < 0 ||
+		c.AMProcess < 0 || c.ZcopyAMProcess < 0 || c.RndvRecvOverhead < 0:
+		return errors.New("ucx: negative software cost")
+	case c.RndvScheme != "" && c.RndvScheme != "put" && c.RndvScheme != "get":
+		return fmt.Errorf("ucx: unknown rendezvous scheme %q", c.RndvScheme)
+	}
+	return nil
+}
+
+const headerBytes = 8
+
+// Control-message kind suffixes; the transport's channel name prefixes
+// them (see Config.Channel).
+const (
+	kindConnect = ".connect"
+	kindAccept  = ".accept"
+	kindRTS     = ".rts"
+	kindCTS     = ".cts"
+	kindFIN     = ".fin"
+	kindCredit  = ".credit"
+	kindRelease = ".rel"
+)
+
+// EagerHandler consumes an eager active message. For bcopy/zcopy arrivals
+// data points into the bounce buffer and is only valid during the call;
+// the copy-out cost has already been charged to p.
+type EagerHandler func(p *sim.Proc, from int, header uint64, data []byte)
+
+// RndvTarget maps an announced rendezvous message to its landing zone in
+// local registered memory. Returning ok=false is a protocol error (the
+// layer above guarantees placement is known after initialization).
+type RndvTarget func(from int, header uint64, size int) (mr *ibv.MR, off int, ok bool)
+
+// RndvDone is invoked (from the receiver's control path) when a rendezvous
+// payload has fully landed.
+type RndvDone func(from int, header uint64, size int)
+
+// Transport is one rank's UCX-like messaging engine.
+type Transport struct {
+	rank *mpi.Rank
+	cfg  Config
+
+	eager      EagerHandler
+	rndvTarget RndvTarget
+	rndvDone   RndvDone
+
+	eps map[int]*endpoint
+
+	// protoFreeAt serializes receiver-side rendezvous protocol handling
+	// (the progress engine handles one protocol message at a time).
+	protoFreeAt sim.Time
+
+	// Stats, exposed for experiments.
+	bcopySends int64
+	zcopySends int64
+	rndvSends  int64
+}
+
+// connectMsg is the wireup handshake payload.
+type connectMsg struct {
+	qps []*ibv.QP
+}
+
+// rtsMsg announces a rendezvous send; raddr/rkey expose the sender's
+// memory for the get scheme.
+type rtsMsg struct {
+	header uint64
+	size   int
+	seq    uint64
+	raddr  uint64
+	rkey   uint32
+}
+
+// releaseMsg (get scheme) tells the sender its memory is no longer needed.
+type releaseMsg struct {
+	seq uint64
+}
+
+// ctsMsg grants a rendezvous landing zone.
+type ctsMsg struct {
+	seq   uint64
+	raddr uint64
+	rkey  uint32
+}
+
+// finMsg signals rendezvous completion to the receiver.
+type finMsg struct {
+	header uint64
+	size   int
+}
+
+// creditMsg returns eager-receive credits for one rail (sender-side flow
+// control, as UCX's AM protocol does: the remote RQ must never drain even
+// if the receiver's progress engine is starved by application compute).
+type creditMsg struct {
+	rail int
+	n    int
+}
+
+// endpoint is the per-destination state.
+type endpoint struct {
+	dst   int
+	qps   []*ibv.QP
+	rail  int // round-robin cursor over qps
+	ready bool
+
+	// Sender staging ring for bcopy/zcopy headers+payloads.
+	staging   *ibv.MR
+	slotSize  int
+	freeSlots []int
+	// slotOf maps WRID -> staging slot to free on send completion.
+	slotOf map[uint64]int
+
+	// Receive bounce ring.
+	bounce *ibv.MR
+
+	// pending holds sends deferred on wireup, staging or credit
+	// exhaustion, or a full send queue.
+	pending []pendingSend
+
+	// credits is the sender-side eager flow control per rail: one credit
+	// per receive WR known to be posted at the peer.
+	credits []int
+	// processed counts receive-side deliveries per rail since the last
+	// credit return.
+	processed []int
+
+	// Outstanding rendezvous ops by sequence number (sender side).
+	rndv    map[uint64]*rndvOp
+	nextSeq uint64
+
+	// finPending maps rendezvous write WRIDs to the FIN sent on their
+	// completion.
+	finPending map[uint64]finMsg
+
+	// readOps (get scheme, receiver side) maps RDMA-read WRIDs to the
+	// rendezvous they complete.
+	readOps map[uint64]readOp
+
+	nextWRID uint64
+}
+
+type pendingSend struct {
+	header uint64
+	mr     *ibv.MR
+	off    int
+	length int
+}
+
+type rndvOp struct {
+	header uint64
+	mr     *ibv.MR
+	off    int
+	length int
+}
+
+// readOp tracks one in-flight rendezvous-get read on the receiver.
+type readOp struct {
+	from   int
+	header uint64
+	size   int
+	seq    uint64
+}
+
+// New creates the transport for a rank and registers its control handlers.
+// Create exactly one transport per rank.
+func New(r *mpi.Rank, cfg Config) *Transport {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Transport{rank: r, cfg: cfg.withDefaults(), eps: make(map[int]*endpoint)}
+	r.HandleCtrl(t.kind(kindConnect), t.onConnect)
+	r.HandleCtrl(t.kind(kindAccept), t.onAccept)
+	r.HandleCtrl(t.kind(kindRTS), t.onRTS)
+	r.HandleCtrl(t.kind(kindCTS), t.onCTS)
+	r.HandleCtrl(t.kind(kindFIN), t.onFIN)
+	r.HandleCtrl(t.kind(kindCredit), t.onCredit)
+	r.HandleCtrl(t.kind(kindRelease), t.onRelease)
+	return t
+}
+
+// kind returns a channel-scoped control kind.
+func (t *Transport) kind(suffix string) string { return t.cfg.Channel + suffix }
+
+// Rank returns the owning rank.
+func (t *Transport) Rank() *mpi.Rank { return t.rank }
+
+// SetEagerHandler installs the eager active-message consumer.
+func (t *Transport) SetEagerHandler(h EagerHandler) { t.eager = h }
+
+// SetRndv installs the rendezvous placement and completion callbacks.
+func (t *Transport) SetRndv(target RndvTarget, done RndvDone) {
+	t.rndvTarget = target
+	t.rndvDone = done
+}
+
+// Stats returns (bcopy, zcopy, rendezvous) send counts.
+func (t *Transport) Stats() (bcopy, zcopy, rndv int64) {
+	return t.bcopySends, t.zcopySends, t.rndvSends
+}
+
+// Quiescent reports whether the transport has no deferred sends, no
+// unacknowledged work requests, and no rendezvous operations in flight —
+// UCX flush semantics. Senders typically spin the progress engine on it
+// (r.WaitOn(p, t.Quiescent)) before reusing buffers or finalizing.
+func (t *Transport) Quiescent() bool {
+	for _, ep := range t.eps {
+		if len(ep.pending) > 0 || len(ep.rndv) > 0 ||
+			len(ep.finPending) > 0 || len(ep.slotOf) > 0 || len(ep.readOps) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// endpointFor returns (creating if needed) the endpoint to dst, starting
+// wireup on first use.
+func (t *Transport) endpointFor(dst int) *endpoint {
+	if ep, ok := t.eps[dst]; ok {
+		return ep
+	}
+	ep := t.newEndpoint(dst)
+	t.eps[dst] = ep
+	// Wireup: offer our QP; the peer accepts with its own.
+	t.rank.SendCtrl(dst, t.kind(kindConnect), connectMsg{qps: ep.qps})
+	return ep
+}
+
+// newEndpoint allocates QP, staging, and bounce resources for one peer.
+func (t *Transport) newEndpoint(dst int) *endpoint {
+	r := t.rank
+	qps := make([]*ibv.QP, t.cfg.Rails)
+	for i := range qps {
+		qp, err := r.PD().CreateQP(ibv.QPConfig{
+			SendCQ:    r.SendCQ(),
+			RecvCQ:    r.RecvCQ(),
+			MaxSendWR: 256,
+			MaxRecvWR: t.cfg.Slots + 16,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ucx: CreateQP: %v", err))
+		}
+		if err := qp.ToInit(); err != nil {
+			panic(fmt.Sprintf("ucx: ToInit: %v", err))
+		}
+		qps[i] = qp
+	}
+	slotSize := headerBytes + t.cfg.RndvThreshold
+	staging, err := r.PD().RegMR(make([]byte, t.cfg.Slots*slotSize))
+	if err != nil {
+		panic(fmt.Sprintf("ucx: staging RegMR: %v", err))
+	}
+	bounce, err := r.PD().RegMR(make([]byte, t.cfg.Slots*slotSize))
+	if err != nil {
+		panic(fmt.Sprintf("ucx: bounce RegMR: %v", err))
+	}
+	ep := &endpoint{
+		dst:      dst,
+		qps:      qps,
+		staging:  staging,
+		slotSize: slotSize,
+		slotOf:   make(map[uint64]int),
+		bounce:   bounce,
+		rndv:     make(map[uint64]*rndvOp),
+	}
+	for i := 0; i < t.cfg.Slots; i++ {
+		ep.freeSlots = append(ep.freeSlots, i)
+	}
+	perRail := t.cfg.Slots / t.cfg.Rails
+	ep.credits = make([]int, t.cfg.Rails)
+	ep.processed = make([]int, t.cfg.Rails)
+	for i := range ep.credits {
+		ep.credits[i] = perRail
+	}
+	for _, qp := range qps {
+		r.HandleQP(qp, func(p *sim.Proc, wc ibv.WC) { t.onWC(p, ep, wc) })
+	}
+	return ep
+}
+
+// nextQP round-robins rails for operations that need no eager credit
+// (rendezvous RDMA writes consume no remote receive WR).
+func (ep *endpoint) nextQP() *ibv.QP {
+	qp := ep.qps[ep.rail%len(ep.qps)]
+	ep.rail++
+	return qp
+}
+
+// takeEagerRail picks the next rail with an available eager credit,
+// consuming it. It returns -1 when every rail is out of credit.
+func (ep *endpoint) takeEagerRail() int {
+	for i := 0; i < len(ep.qps); i++ {
+		r := (ep.rail + i) % len(ep.qps)
+		if ep.credits[r] > 0 {
+			ep.credits[r]--
+			ep.rail = r + 1
+			return r
+		}
+	}
+	return -1
+}
+
+// hasEagerCredit reports whether any rail can accept an eager send.
+func (ep *endpoint) hasEagerCredit() bool {
+	for _, c := range ep.credits {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// postBounceRecvs fills the receive queue with bounce-slot WRs. WRIDs
+// encode the slot index.
+func (t *Transport) postBounceRecvs(ep *endpoint) {
+	for i := 0; i < t.cfg.Slots; i++ {
+		t.repostBounce(ep, i)
+	}
+}
+
+func (t *Transport) repostBounce(ep *endpoint, slot int) {
+	err := ep.qps[slot%len(ep.qps)].PostRecv(ibv.RecvWR{
+		WRID:   uint64(slot),
+		SGList: []ibv.SGE{ep.bounce.SGEFor(slot*ep.slotSize, ep.slotSize)},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("ucx: PostRecv bounce: %v", err))
+	}
+}
+
+// onConnect is the passive side of wireup.
+func (t *Transport) onConnect(from int, data any) {
+	msg := data.(connectMsg)
+	ep, existed := t.eps[from]
+	if !existed {
+		ep = t.newEndpoint(from)
+		t.eps[from] = ep
+	}
+	t.finishWireup(ep, msg.qps)
+	t.rank.SendCtrl(from, t.kind(kindAccept), connectMsg{qps: ep.qps})
+}
+
+// onAccept is the active side's completion of wireup.
+func (t *Transport) onAccept(from int, data any) {
+	msg := data.(connectMsg)
+	ep := t.eps[from]
+	if ep == nil {
+		panic("ucx: accept without endpoint")
+	}
+	t.finishWireup(ep, msg.qps)
+	t.flushPending(ep)
+}
+
+// finishWireup transitions the endpoint's rails to RTS against the remote
+// rails and posts bounce receives.
+func (t *Transport) finishWireup(ep *endpoint, remote []*ibv.QP) {
+	if ep.ready {
+		return
+	}
+	if len(remote) != len(ep.qps) {
+		panic(fmt.Sprintf("ucx: rail count mismatch: %d vs %d", len(remote), len(ep.qps)))
+	}
+	for i, qp := range ep.qps {
+		if err := qp.ToRTR(remote[i]); err != nil {
+			panic(fmt.Sprintf("ucx: ToRTR: %v", err))
+		}
+		if err := qp.ToRTS(); err != nil {
+			panic(fmt.Sprintf("ucx: ToRTS: %v", err))
+		}
+	}
+	t.postBounceRecvs(ep)
+	ep.ready = true
+}
+
+// Connected reports whether the endpoint to dst is wired up (for tests).
+func (t *Transport) Connected(dst int) bool {
+	ep, ok := t.eps[dst]
+	return ok && ep.ready
+}
+
+// copyCost returns the modelled memcpy time for n bytes.
+func (t *Transport) copyCost(n int) time.Duration {
+	return time.Duration(float64(n) * t.cfg.CopyByteTime)
+}
+
+// Send delivers an active message from arbitrary (unregistered) memory; it
+// always stages through the bounce-copy path and therefore requires
+// len(data) <= RndvThreshold. Use SendMR for registered payloads of any
+// size.
+func (t *Transport) Send(p *sim.Proc, dst int, header uint64, data []byte) {
+	if len(data) > t.cfg.RndvThreshold {
+		panic(fmt.Sprintf("ucx: Send of %d B exceeds eager limit %d; use SendMR", len(data), t.cfg.RndvThreshold))
+	}
+	ep := t.endpointFor(dst)
+	// Stage into a scratch registered buffer via the normal path by
+	// treating the staging ring itself as the source: charge the user→
+	// staging copy and enqueue.
+	t.sendEager(p, ep, header, nil, 0, data, true)
+}
+
+// SendMR delivers an active message from registered memory, selecting
+// bcopy, zcopy, or rendezvous by size exactly as the baseline's middleware
+// does.
+func (t *Transport) SendMR(p *sim.Proc, dst int, header uint64, mr *ibv.MR, off, length int) {
+	if off < 0 || length < 0 || off+length > mr.Len() {
+		panic(fmt.Sprintf("ucx: SendMR range [%d,%d) outside MR of %d B", off, off+length, mr.Len()))
+	}
+	ep := t.endpointFor(dst)
+	switch {
+	case length <= t.cfg.BcopyMax:
+		t.sendEager(p, ep, header, mr, off, mr.Bytes()[off:off+length], true)
+	case length <= t.cfg.RndvThreshold:
+		t.sendEager(p, ep, header, mr, off, mr.Bytes()[off:off+length], false)
+	default:
+		t.sendRndv(p, ep, header, mr, off, length)
+	}
+}
+
+// sendEager stages (bcopy) or gathers (zcopy) an eager message. Staging
+// always copies the header; bcopy additionally copies the payload.
+func (t *Transport) sendEager(p *sim.Proc, ep *endpoint, header uint64, mr *ibv.MR, off int, data []byte, bcopy bool) {
+	if bcopy {
+		t.bcopySends++
+		p.Sleep(t.cfg.SendOverhead + t.copyCost(headerBytes+len(data)))
+	} else {
+		t.zcopySends++
+		p.Sleep(t.cfg.ZcopySendOverhead + t.copyCost(headerBytes))
+	}
+
+	if !ep.ready || len(ep.freeSlots) == 0 || !ep.hasEagerCredit() {
+		// Defer: wireup in flight, staging exhausted, or no eager credit.
+		// Deferral keeps the payload source so zcopy stays zero-copy.
+		if bcopy {
+			// The payload may be mutated after we return; bcopy semantics
+			// require capturing it now.
+			captured := make([]byte, len(data))
+			copy(captured, data)
+			ep.pending = append(ep.pending, pendingSend{
+				header: header, mr: t.stashPending(captured), length: len(captured),
+			})
+			return
+		}
+		ep.pending = append(ep.pending, pendingSend{header: header, mr: mr, off: off, length: len(data)})
+		return
+	}
+	t.postEager(ep, header, mr, off, data, bcopy)
+}
+
+// stashPending registers captured bytes as a throwaway MR for a deferred
+// bcopy send (freed by garbage collection after completion).
+func (t *Transport) stashPending(captured []byte) *ibv.MR {
+	mr, err := t.rank.PD().RegMR(captured)
+	if err != nil {
+		panic(fmt.Sprintf("ucx: stash RegMR: %v", err))
+	}
+	return mr
+}
+
+// postEager writes the header (and payload for bcopy) into a staging slot
+// and posts the send WR.
+func (t *Transport) postEager(ep *endpoint, header uint64, mr *ibv.MR, off int, data []byte, bcopy bool) {
+	slot := ep.freeSlots[0]
+	ep.freeSlots = ep.freeSlots[1:]
+	base := slot * ep.slotSize
+	stage := ep.staging.Bytes()
+	binary.BigEndian.PutUint64(stage[base:base+headerBytes], header)
+
+	var sges []ibv.SGE
+	if bcopy || mr == nil {
+		copy(stage[base+headerBytes:base+headerBytes+len(data)], data)
+		sges = []ibv.SGE{ep.staging.SGEFor(base, headerBytes+len(data))}
+	} else {
+		sges = []ibv.SGE{
+			ep.staging.SGEFor(base, headerBytes),
+			mr.SGEFor(off, len(data)),
+		}
+	}
+	rail := ep.takeEagerRail()
+	if rail < 0 {
+		panic("ucx: postEager without credit")
+	}
+	ep.nextWRID++
+	wrid := ep.nextWRID
+	ep.slotOf[wrid] = slot
+	err := ep.qps[rail].PostSend(ibv.SendWR{
+		WRID:     wrid,
+		Opcode:   ibv.OpSend,
+		SGList:   sges,
+		Signaled: true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("ucx: PostSend eager: %v", err))
+	}
+}
+
+// flushPending drains deferred sends once resources free up.
+func (t *Transport) flushPending(ep *endpoint) {
+	for len(ep.pending) > 0 && ep.ready && len(ep.freeSlots) > 0 && ep.hasEagerCredit() {
+		ps := ep.pending[0]
+		ep.pending = ep.pending[1:]
+		data := ps.mr.Bytes()[ps.off : ps.off+ps.length]
+		// Deferred sends re-post without re-charging CPU cost (it was
+		// charged at Send time).
+		t.postEager(ep, ps.header, ps.mr, ps.off, data, false)
+	}
+}
+
+// sendRndv runs the rendezvous protocol: RTS control message now, RDMA
+// write on CTS, FIN after the write completes.
+func (t *Transport) sendRndv(p *sim.Proc, ep *endpoint, header uint64, mr *ibv.MR, off, length int) {
+	t.rndvSends++
+	p.Sleep(t.cfg.RndvSendOverhead)
+	ep.nextSeq++
+	seq := ep.nextSeq
+	ep.rndv[seq] = &rndvOp{header: header, mr: mr, off: off, length: length}
+	t.rank.SendCtrl(ep.dst, t.kind(kindRTS), rtsMsg{
+		header: header,
+		size:   length,
+		seq:    seq,
+		raddr:  mr.Addr() + uint64(off),
+		rkey:   mr.RKey(),
+	})
+}
+
+// onRTS (receiver): resolve the landing zone and grant it. The CTS reply
+// leaves after the serialized protocol-processing cost.
+func (t *Transport) onRTS(from int, data any) {
+	msg := data.(rtsMsg)
+	if t.rndvTarget == nil {
+		panic("ucx: rendezvous RTS with no target resolver installed")
+	}
+	mr, off, ok := t.rndvTarget(from, msg.header, msg.size)
+	if !ok {
+		panic(fmt.Sprintf("ucx: no rendezvous target for header %#x from %d", msg.header, from))
+	}
+	if t.cfg.RndvScheme == "get" {
+		// Receiver-driven: RDMA-read the sender's memory directly.
+		ep := t.eps[from]
+		t.afterProtoCost(func() {
+			if ep.readOps == nil {
+				ep.readOps = make(map[uint64]readOp)
+			}
+			ep.nextWRID++
+			wrid := ep.nextWRID
+			ep.readOps[wrid] = readOp{from: from, header: msg.header, size: msg.size, seq: msg.seq}
+			err := ep.nextQP().PostSend(ibv.SendWR{
+				WRID:       wrid,
+				Opcode:     ibv.OpRDMARead,
+				SGList:     []ibv.SGE{mr.SGEFor(off, msg.size)},
+				RemoteAddr: msg.raddr,
+				RKey:       msg.rkey,
+				Signaled:   true,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("ucx: PostSend rndv-get read: %v", err))
+			}
+		})
+		return
+	}
+	cts := ctsMsg{seq: msg.seq, raddr: mr.Addr() + uint64(off), rkey: mr.RKey()}
+	t.afterProtoCost(func() {
+		t.rank.SendCtrl(from, t.kind(kindCTS), cts)
+	})
+}
+
+// onRelease (get scheme, sender side): the receiver has pulled the data.
+func (t *Transport) onRelease(from int, data any) {
+	msg := data.(releaseMsg)
+	ep := t.eps[from]
+	if ep == nil || ep.rndv[msg.seq] == nil {
+		panic(fmt.Sprintf("ucx: release for unknown rendezvous seq %d", msg.seq))
+	}
+	delete(ep.rndv, msg.seq)
+	t.rank.Wake()
+}
+
+// afterProtoCost schedules fn after this receiver's next free
+// protocol-processing slot, charging RndvRecvOverhead serialized.
+func (t *Transport) afterProtoCost(fn func()) {
+	e := t.rank.World().Engine()
+	start := e.Now()
+	if t.protoFreeAt > start {
+		start = t.protoFreeAt
+	}
+	done := start.Add(t.cfg.RndvRecvOverhead)
+	t.protoFreeAt = done
+	e.At(done, fn)
+}
+
+// onCTS (sender): issue the RDMA write.
+func (t *Transport) onCTS(from int, data any) {
+	msg := data.(ctsMsg)
+	ep := t.eps[from]
+	op := ep.rndv[msg.seq]
+	if op == nil {
+		panic(fmt.Sprintf("ucx: CTS for unknown rendezvous seq %d", msg.seq))
+	}
+	delete(ep.rndv, msg.seq)
+	ep.nextWRID++
+	wrid := ep.nextWRID
+	// Completion of this WRID triggers the FIN; no staging slot to free.
+	ep.slotOf[wrid] = -1
+	t.finOnAck(ep, wrid, finMsg{header: op.header, size: op.length})
+	err := ep.nextQP().PostSend(ibv.SendWR{
+		WRID:       wrid,
+		Opcode:     ibv.OpRDMAWrite,
+		SGList:     []ibv.SGE{op.mr.SGEFor(op.off, op.length)},
+		RemoteAddr: msg.raddr,
+		RKey:       msg.rkey,
+		Signaled:   true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("ucx: PostSend rndv: %v", err))
+	}
+}
+
+// finOnAck registers the FIN that onWC sends when wrid completes.
+func (t *Transport) finOnAck(ep *endpoint, wrid uint64, fin finMsg) {
+	if ep.finPending == nil {
+		ep.finPending = make(map[uint64]finMsg)
+	}
+	ep.finPending[wrid] = fin
+}
+
+// onFIN (receiver): the rendezvous payload has landed; completion is
+// dispatched after the serialized protocol-processing cost.
+func (t *Transport) onFIN(from int, data any) {
+	msg := data.(finMsg)
+	if t.rndvDone == nil {
+		panic("ucx: rendezvous FIN with no completion handler installed")
+	}
+	t.afterProtoCost(func() {
+		t.rndvDone(from, msg.header, msg.size)
+		t.rank.Wake()
+	})
+}
+
+// onCredit restores eager credits returned by the receiver.
+func (t *Transport) onCredit(from int, data any) {
+	msg := data.(creditMsg)
+	ep := t.eps[from]
+	if ep == nil {
+		panic("ucx: credit for unknown endpoint")
+	}
+	ep.credits[msg.rail] += msg.n
+	t.flushPending(ep)
+}
+
+// onWC handles both send-side and receive-side completions for an
+// endpoint's QP, invoked from the rank's progress engine.
+func (t *Transport) onWC(p *sim.Proc, ep *endpoint, wc ibv.WC) {
+	if wc.Status != ibv.StatusSuccess {
+		panic(fmt.Sprintf("ucx: completion error on rank %d endpoint %d: %v", t.rank.ID(), ep.dst, wc.Status))
+	}
+	switch wc.Opcode {
+	case ibv.WCRDMARead:
+		op, ok := ep.readOps[wc.WRID]
+		if !ok {
+			panic("ucx: read completion for unknown rendezvous")
+		}
+		delete(ep.readOps, wc.WRID)
+		p.Sleep(t.cfg.RndvRecvOverhead)
+		t.rank.SendCtrl(ep.dst, t.kind(kindRelease), releaseMsg{seq: op.seq})
+		if t.rndvDone == nil {
+			panic("ucx: rendezvous-get completion with no handler installed")
+		}
+		t.rndvDone(op.from, op.header, op.size)
+	case ibv.WCSend, ibv.WCRDMAWrite:
+		if fin, ok := ep.finPending[wc.WRID]; ok {
+			delete(ep.finPending, wc.WRID)
+			t.rank.SendCtrl(ep.dst, t.kind(kindFIN), fin)
+		}
+		if slot, ok := ep.slotOf[wc.WRID]; ok {
+			delete(ep.slotOf, wc.WRID)
+			if slot >= 0 {
+				ep.freeSlots = append(ep.freeSlots, slot)
+			}
+		}
+		t.flushPending(ep)
+	case ibv.WCRecv:
+		slot := int(wc.WRID)
+		base := slot * ep.slotSize
+		buf := ep.bounce.Bytes()[base : base+wc.ByteLen]
+		header := binary.BigEndian.Uint64(buf[:headerBytes])
+		payload := buf[headerBytes:]
+		// Charge the receive-side active-message handling (tiered by
+		// protocol, inferred from the payload size) plus the copy-out of
+		// the bounce data.
+		am := t.cfg.AMProcess
+		if len(payload) > t.cfg.BcopyMax {
+			am = t.cfg.ZcopyAMProcess
+		}
+		p.Sleep(am + t.copyCost(len(payload)))
+		if t.eager == nil {
+			panic("ucx: eager arrival with no handler installed")
+		}
+		t.eager(p, ep.dst, header, payload)
+		t.repostBounce(ep, slot)
+		rail := slot % len(ep.qps)
+		ep.processed[rail]++
+		threshold := t.cfg.Slots / t.cfg.Rails / 2
+		if threshold < 1 {
+			threshold = 1
+		}
+		if ep.processed[rail] >= threshold {
+			t.rank.SendCtrl(ep.dst, t.kind(kindCredit), creditMsg{rail: rail, n: ep.processed[rail]})
+			ep.processed[rail] = 0
+		}
+	default:
+		panic(fmt.Sprintf("ucx: unexpected completion opcode %v", wc.Opcode))
+	}
+}

@@ -1,0 +1,23 @@
+package partib
+
+import "repro/internal/coll"
+
+// Collective types, re-exported.
+type (
+	// Coll provides broadcast, reduce/allreduce, and gather over a Comm.
+	Coll = coll.Coll
+	// ReduceOp is a reduction operator for Reduce/Allreduce.
+	ReduceOp = coll.Op
+)
+
+// Reduction operators.
+const (
+	OpSum = coll.OpSum
+	OpMax = coll.OpMax
+	OpMin = coll.OpMin
+)
+
+// NewColl wraps a point-to-point engine with collective operations. All
+// ranks must call the same sequence of collectives (MPI ordering
+// semantics).
+func NewColl(c *Comm) *Coll { return coll.New(c) }

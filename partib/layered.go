@@ -1,0 +1,24 @@
+package partib
+
+import "repro/internal/mpipcl"
+
+// Layered partitioned communication (after the MPIPCL library the paper's
+// benchmark suite originally targeted): the same Psend/Precv lifecycle
+// implemented purely over point-to-point messages, for portability
+// comparisons against the native verbs-mapped Engine.
+type (
+	// LayeredPsend is a layered persistent partitioned send request.
+	LayeredPsend = mpipcl.Psend
+	// LayeredPrecv is a layered persistent partitioned receive request.
+	LayeredPrecv = mpipcl.Precv
+)
+
+// LayeredPsendInit initializes a layered partitioned send over a Comm.
+func LayeredPsendInit(p *Proc, c *Comm, buf []byte, partitions, dest, tag int) (*LayeredPsend, error) {
+	return mpipcl.PsendInit(p, c, buf, partitions, dest, tag)
+}
+
+// LayeredPrecvInit initializes a layered partitioned receive over a Comm.
+func LayeredPrecvInit(p *Proc, c *Comm, buf []byte, partitions, source, tag int) (*LayeredPrecv, error) {
+	return mpipcl.PrecvInit(p, c, buf, partitions, source, tag)
+}
