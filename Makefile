@@ -1,0 +1,34 @@
+# Development entry points. `make check` is what CI runs on every PR:
+# vet + build + full test suite, plus the race detector over the
+# shared-memory sweep-orchestration layer and its heaviest user.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-parallel
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep pool and the tuning search are the only layers where multiple
+# goroutines touch shared memory; everything below them is one engine per
+# goroutine. Race-check them on every PR.
+race:
+	$(GO) test -race ./internal/sweep/... ./internal/tuning/...
+
+# Paper-exhibit benchmarks (quick mode), plus the sim hot-path benchmarks.
+bench:
+	$(GO) test -bench . -benchmem -run xxx ./internal/sim/ ./internal/profiler/
+	$(GO) test -bench . -benchmem -run xxx .
+
+# Regenerate BENCH_parallel.json: serial-vs-parallel tuning sweep report.
+bench-parallel:
+	$(GO) run ./cmd/tuningsearch -parts 4,16,32 -min 4096 -max 4194304 \
+		-benchjson BENCH_parallel.json -o /dev/null

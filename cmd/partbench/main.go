@@ -6,16 +6,25 @@
 //	partbench -experiment all -quick      # smoke-run everything
 //	partbench -list                       # enumerate experiments
 //	partbench -experiment fig9 -csv out/  # also write CSV per table
+//	partbench -experiment fig8 -j 8       # sweep on 8 workers
+//	partbench -experiment all -quick -benchjson BENCH_parallel.json
 //
 // Each experiment prints the rows/series of the corresponding figure or
 // table of "A Dynamic Network-Native MPI Partitioned Aggregation Over
 // InfiniBand Verbs" (CLUSTER 2023); see EXPERIMENTS.md for the
 // paper-versus-measured comparison.
+//
+// Drivers fan their independent simulation runs across -j workers
+// (default: all cores); output is byte-identical for any -j. -benchjson
+// additionally times a serial (-j 1) pass over the same experiments,
+// verifies both passes render identically, and records wall-clock
+// speedup, events/sec, and allocs/event.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -31,6 +41,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	verbose := flag.Bool("v", false, "print progress while running")
 	csvDir := flag.String("csv", "", "directory to also write one CSV per table")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
 	flag.Parse()
 
 	if *list {
@@ -49,42 +61,87 @@ func main() {
 	if *exp == "all" {
 		names = experiments.Names()
 	}
-	cfg := experiments.Config{Quick: *quick}
+	for _, name := range names {
+		if _, ok := experiments.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "partbench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+	}
+	cfg := experiments.Config{Quick: *quick, Jobs: *jobs}
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
 	}
 
-	for _, name := range names {
-		run, ok := experiments.Lookup(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "partbench: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
+	if *benchJSON != "" {
+		serialCfg := cfg
+		serialCfg.Jobs = 1
+		serialCfg.Progress = nil
+		m := sweep.StartMeasure()
+		var serialOut strings.Builder
+		if err := runSuite(names, serialCfg, &serialOut, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: serial pass: %v\n", err)
+			os.Exit(1)
 		}
+		serialSec, _, _ := m.Stop()
+
+		m = sweep.StartMeasure()
+		var parallelOut strings.Builder
+		if err := runSuite(names, cfg, &parallelOut, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+			os.Exit(1)
+		}
+		parSec, parEvents, parAllocs := m.Stop()
+
+		report := sweep.NewReport("partbench "+*exp, cfg.Jobs,
+			serialSec, parSec, parEvents, parAllocs, parallelOut.String() == serialOut.String())
+		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.WriteString(parallelOut.String())
+		fmt.Fprintf(os.Stderr,
+			"partbench: serial %.2fs, parallel %.2fs on %d workers (%.2fx), %.0f events/sec, %.2f allocs/event, identical=%v\n",
+			report.SerialSeconds, report.ParallelSeconds, report.Workers,
+			report.Speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
+		return
+	}
+
+	if err := runSuite(names, cfg, os.Stdout, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSuite executes the named experiments in order, rendering tables as
+// text to w (and CSVs under csvDir when non-empty).
+func runSuite(names []string, cfg experiments.Config, w io.Writer, csvDir string) error {
+	for _, name := range names {
+		run, _ := experiments.Lookup(name)
 		desc, _ := experiments.Describe(name)
-		fmt.Printf("# %s: %s\n", name, desc)
+		fmt.Fprintf(w, "# %s: %s\n", name, desc)
 		start := time.Now()
 		tables, err := run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "partbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		for i, tb := range tables {
-			if err := tb.WriteText(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
-				os.Exit(1)
+			if err := tb.WriteText(w); err != nil {
+				return err
 			}
-			fmt.Println()
-			if *csvDir != "" {
-				if err := writeCSV(*csvDir, name, i, tb); err != nil {
-					fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
-					os.Exit(1)
+			fmt.Fprintln(w)
+			if csvDir != "" {
+				if err := writeCSV(csvDir, name, i, tb); err != nil {
+					return err
 				}
 			}
 		}
-		fmt.Printf("# %s done in %v (wall)\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Wall time goes to stderr so the rendered tables stay
+		// byte-comparable across passes.
+		fmt.Fprintf(os.Stderr, "# %s done in %v (wall)\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }
 
 func writeCSV(dir, name string, idx int, tb *stats.Table) error {

@@ -6,9 +6,19 @@
 // Usage:
 //
 //	tuningsearch -parts 4,32,128 -min 4096 -max 67108864 -o tuning.tbl
+//	tuningsearch -j 8                        # sweep on 8 workers
+//	tuningsearch -benchjson BENCH_parallel.json
+//
+// The sweep fans (parts, size) points across -j workers (default: all
+// cores); each point is an independent deterministic simulation, so the
+// table is byte-identical for any -j. -benchjson additionally times a
+// serial (-j 1) pass against the parallel pass over the same workload,
+// verifies the two tables match, and records wall-clock speedup,
+// events/sec, and allocs/event for the perf trajectory.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/tuning"
 )
 
@@ -25,6 +36,8 @@ func main() {
 	maxSize := flag.Int("max", 64<<20, "largest aggregate message size (bytes)")
 	warmup := flag.Int("warmup", 3, "warm-up iterations per candidate")
 	iters := flag.Int("iters", 10, "measured iterations per candidate")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
 	out := flag.String("o", "", "output file (default stdout)")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
@@ -44,21 +57,75 @@ func main() {
 		Sizes:     stats.PowersOfTwo(*minSize, *maxSize),
 		Warmup:    *warmup,
 		Iters:     *iters,
+		Workers:   *jobs,
 	}
 	if *verbose {
 		cfg.Progress = func(p, s int) {
 			fmt.Fprintf(os.Stderr, "searching %d partitions, %s\n", p, stats.FormatBytes(s))
 		}
 	}
-	table, err := tuning.Search(cfg)
+
+	render := func(c tuning.SearchConfig) (string, error) {
+		table, err := tuning.Search(c)
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		if err := tuning.WriteTable(&buf, table); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+
+	var serialSec float64
+	if *benchJSON != "" {
+		// Timed serial reference pass over the identical workload.
+		serialCfg := cfg
+		serialCfg.Workers = 1
+		serialCfg.Progress = nil
+		m := sweep.StartMeasure()
+		serialOut, err := render(serialCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuningsearch: serial pass: %v\n", err)
+			os.Exit(1)
+		}
+		serialSec, _, _ = m.Stop()
+
+		m = sweep.StartMeasure()
+		parallelOut, err := render(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
+			os.Exit(1)
+		}
+		parSec, parEvents, parAllocs := m.Stop()
+
+		report := sweep.NewReport("tuningsearch", cfg.Workers,
+			serialSec, parSec, parEvents, parAllocs, parallelOut == serialOut)
+		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
+			fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr,
+			"tuningsearch: serial %.2fs, parallel %.2fs on %d workers (%.2fx), %.0f events/sec, %.2f allocs/event, identical=%v\n",
+			report.SerialSeconds, report.ParallelSeconds, report.Workers,
+			report.Speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
+		writeOutput(*out, parallelOut)
+		return
+	}
+
+	text, err := render(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
 		os.Exit(1)
 	}
+	writeOutput(*out, text)
+}
 
+// writeOutput writes the serialized table with its header comment.
+func writeOutput(path, text string) {
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
 			os.Exit(1)
@@ -67,7 +134,7 @@ func main() {
 		w = f
 	}
 	fmt.Fprintln(w, "# userParts bytes transport qps")
-	if err := tuning.WriteTable(w, table); err != nil {
+	if _, err := fmt.Fprint(w, text); err != nil {
 		fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
 		os.Exit(1)
 	}

@@ -27,9 +27,10 @@ func AblationInline(cfg Config) ([]*stats.Table, error) {
 	tb := stats.NewTable(
 		"Ablation: IBV_SEND_INLINE for small transport partitions (future work of Section VI-A)",
 		"size", "plain round", "inline round", "improvement")
+	jobs := make([]bench.P2PConfig, 0, 2*len(sizes))
 	for _, s := range sizes {
-		run := func(inline bool) (time.Duration, error) {
-			res, err := bench.RunP2P(bench.P2PConfig{
+		for _, inline := range []bool{false, true} {
+			jobs = append(jobs, bench.P2PConfig{
 				Parts: parts, Bytes: s, Warmup: warmup, Iters: iters,
 				Opts: core.Options{
 					Strategy:       core.StrategyPLogGP,
@@ -37,19 +38,15 @@ func AblationInline(cfg Config) ([]*stats.Table, error) {
 					UseInline:      inline,
 				},
 			})
-			if err != nil {
-				return 0, err
-			}
-			return res.MeanIterTime(), nil
 		}
-		plain, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		inlined, err := run(true)
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := cfg.runP2PGrid(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
+		plain := res[2*si].MeanIterTime()
+		inlined := res[2*si+1].MeanIterTime()
 		tb.AddRow(stats.FormatBytes(s), plain, inlined, stats.Speedup(plain, inlined))
 	}
 	return []*stats.Table{tb}, nil
@@ -73,10 +70,10 @@ func AblationWindow(cfg Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("round(window=%d)", w))
 	}
 	tb := stats.NewTable("Ablation: per-QP in-flight RDMA window, 16 transport partitions on 1 QP", headers...)
+	jobs := make([]bench.P2PConfig, 0, len(sizes)*len(windows))
 	for _, s := range sizes {
-		row := []any{stats.FormatBytes(s)}
 		for _, w := range windows {
-			res, err := bench.RunP2P(bench.P2PConfig{
+			jobs = append(jobs, bench.P2PConfig{
 				Parts: parts, Bytes: s, Warmup: warmup, Iters: iters,
 				Opts: core.Options{
 					Strategy:            core.StrategyPLogGP,
@@ -85,10 +82,16 @@ func AblationWindow(cfg Config) ([]*stats.Table, error) {
 					MaxOutstandingPerQP: w,
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.MeanIterTime())
+		}
+	}
+	res, err := cfg.runP2PGrid(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
+		row := []any{stats.FormatBytes(s)}
+		for wi := range windows {
+			row = append(row, res[si*len(windows)+wi].MeanIterTime())
 		}
 		tb.AddRow(row...)
 	}
@@ -112,22 +115,26 @@ func AblationModel(cfg Config) ([]*stats.Table, error) {
 	tb := stats.NewTable(
 		"Ablation: PLogGP model variants vs simulated completion (32 partitions, 4 ms laggard)",
 		"size", "n*", "model ideal", "model pipelined", "simulated")
-	for _, s := range sizes {
-		n := model.OptimalTransport(s, parts, delay)
-		res, err := bench.RunP2P(bench.P2PConfig{
+	jobs := make([]bench.P2PConfig, len(sizes))
+	for i, s := range sizes {
+		jobs[i] = bench.P2PConfig{
 			Parts: parts, Bytes: s,
 			Compute:  100 * time.Millisecond,
 			NoisePct: 4, // 4 ms laggard on 100 ms compute
 			Warmup:   warmupFor(cfg, 5),
 			Iters:    itersFor(cfg, 10),
 			Opts:     core.Options{Strategy: core.StrategyPLogGP},
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	results, err := cfg.runP2PGrid(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
+		n := model.OptimalTransport(s, parts, delay)
 		// The measured analogue of the model's T: from round start to all
 		// partitions received, minus the common 100 ms compute.
-		measured := res.MeanIterTime() - 100*time.Millisecond
+		measured := results[si].MeanIterTime() - 100*time.Millisecond
 		tb.AddRow(stats.FormatBytes(s), n,
 			model.CompletionTime(n, s, delay),
 			model.CompletionTimePipelined(n, s, delay),
@@ -152,28 +159,32 @@ func AblationTimer(cfg Config) ([]*stats.Table, error) {
 	tb := stats.NewTable(
 		"Ablation: timer delta endpoints, 32 partitions, 8 MiB, 100 ms compute, 4% noise",
 		"delta", "perceived BW (GB/s)", "fabric messages/round")
-	for _, d := range deltas {
+	jobs := make([]bench.P2PConfig, len(deltas))
+	for i, d := range deltas {
 		opts := core.Options{Strategy: core.StrategyTimerPLogGP, Delta: d}
 		if d == 0 {
 			// δ=0 approximated by a nanosecond: fire immediately.
 			opts.Delta = time.Nanosecond
 		}
-		res, err := bench.RunP2P(bench.P2PConfig{
+		jobs[i] = bench.P2PConfig{
 			Parts: parts, Bytes: size,
 			Compute: 100 * time.Millisecond, NoisePct: 4,
 			Warmup: warmupFor(cfg, 5),
 			Iters:  itersFor(cfg, 10),
 			Opts:   opts,
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	results, err := cfg.runP2PGrid(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for di, d := range deltas {
 		label := d.String()
 		if d == time.Hour {
 			label = "inf"
 		}
 		rounds := int64(warmupFor(cfg, 5) + itersFor(cfg, 10))
-		tb.AddRow(label, res.MeanPerceivedBandwidth()/1e9, res.FabricMessages/rounds)
+		tb.AddRow(label, results[di].MeanPerceivedBandwidth()/1e9, results[di].FabricMessages/rounds)
 	}
 	return []*stats.Table{tb}, nil
 }

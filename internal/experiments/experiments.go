@@ -21,6 +21,7 @@ import (
 	"repro/internal/loggp"
 	"repro/internal/ploggp"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/tuning"
 )
 
@@ -28,8 +29,15 @@ import (
 type Config struct {
 	// Quick shrinks the sweep for smoke tests.
 	Quick bool
-	// Progress, if non-nil, receives one line per major step.
+	// Progress, if non-nil, receives one line per major step. It is
+	// always invoked from the goroutine running the driver (never from
+	// sweep workers), so it needs no locking.
 	Progress func(format string, args ...any)
+	// Jobs bounds how many independent simulation runs a driver executes
+	// concurrently. Every run is a self-contained deterministic
+	// simulation, so tables are byte-identical for any value. Zero or
+	// negative selects GOMAXPROCS; 1 forces the serial path.
+	Jobs int
 }
 
 func (c Config) progress(format string, args ...any) {
@@ -169,30 +177,85 @@ func Table1(cfg Config) ([]*stats.Table, error) {
 	return []*stats.Table{tb}, nil
 }
 
-// overheadSpeedup runs the overhead benchmark for opts and the baseline at
-// one point and returns baseline/variant.
-func overheadSpeedup(cfg Config, parts, size int, opts core.Options, baseCache map[int]time.Duration) (float64, error) {
-	warmup, iters := cfg.iterCounts()
-	base, ok := baseCache[size]
-	if !ok {
-		res, err := bench.RunP2P(bench.P2PConfig{
-			Parts: parts, Bytes: size, Warmup: warmup, Iters: iters,
-			Opts: core.Options{Strategy: core.StrategyBaseline},
+// runP2PGrid executes one RunP2P per config across cfg.Jobs workers and
+// returns results in input order. label, if non-nil, names job i for
+// progress reporting; it is invoked in order from the collector (the
+// goroutine running the driver), with "" suppressing the line.
+func (c Config) runP2PGrid(jobs []bench.P2PConfig, label func(i int) string) ([]bench.P2PResult, error) {
+	out := make([]bench.P2PResult, len(jobs))
+	err := sweep.Ordered(c.Jobs, len(jobs),
+		func(i int) (bench.P2PResult, error) { return bench.RunP2P(jobs[i]) },
+		func(i int, r bench.P2PResult) error {
+			if label != nil {
+				if l := label(i); l != "" {
+					c.progress("%s", l)
+				}
+			}
+			out[i] = r
+			return nil
 		})
-		if err != nil {
-			return 0, err
-		}
-		base = res.MeanIterTime()
-		baseCache[size] = base
-	}
-	res, err := bench.RunP2P(bench.P2PConfig{
+	return out, err
+}
+
+// runSweepGrid is runP2PGrid for the Sweep3D benchmark.
+func (c Config) runSweepGrid(jobs []bench.SweepConfig, label func(i int) string) ([]bench.SweepResult, error) {
+	out := make([]bench.SweepResult, len(jobs))
+	err := sweep.Ordered(c.Jobs, len(jobs),
+		func(i int) (bench.SweepResult, error) { return bench.RunSweep(jobs[i]) },
+		func(i int, r bench.SweepResult) error {
+			if label != nil {
+				if l := label(i); l != "" {
+					c.progress("%s", l)
+				}
+			}
+			out[i] = r
+			return nil
+		})
+	return out, err
+}
+
+// overheadConfig is one overhead-benchmark run (Section V-B protocol).
+func overheadConfig(cfg Config, parts, size int, opts core.Options) bench.P2PConfig {
+	warmup, iters := cfg.iterCounts()
+	return bench.P2PConfig{
 		Parts: parts, Bytes: size, Warmup: warmup, Iters: iters,
 		Opts: opts,
+	}
+}
+
+// overheadTable runs, for each size, one baseline plus one variant per
+// option set — all concurrently — and returns rows of speedups versus the
+// per-size baseline, preserving the serial sweep's values exactly (the
+// serial code also ran the baseline once per size and reused it).
+func overheadTable(cfg Config, name string, parts int, sizes []int, variants []core.Options) ([][]float64, error) {
+	stride := 1 + len(variants)
+	jobs := make([]bench.P2PConfig, 0, len(sizes)*stride)
+	for _, s := range sizes {
+		jobs = append(jobs, overheadConfig(cfg, parts, s, core.Options{Strategy: core.StrategyBaseline}))
+		for _, opts := range variants {
+			jobs = append(jobs, overheadConfig(cfg, parts, s, opts))
+		}
+	}
+	res, err := cfg.runP2PGrid(jobs, func(i int) string {
+		if i%stride == 0 {
+			return fmt.Sprintf("%s: size %s", name, stats.FormatBytes(sizes[i/stride]))
+		}
+		return ""
 	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return stats.Speedup(base, res.MeanIterTime()), nil
+	rows := make([][]float64, len(sizes))
+	for si := range sizes {
+		block := res[si*stride : (si+1)*stride]
+		base := block[0].MeanIterTime()
+		row := make([]float64, len(variants))
+		for vi := range variants {
+			row[vi] = stats.Speedup(base, block[1+vi].MeanIterTime())
+		}
+		rows[si] = row
+	}
+	return rows, nil
 }
 
 // Fig6 sweeps transport partition counts at 32 user partitions, 2 QPs.
@@ -209,19 +272,21 @@ func Fig6(cfg Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("speedup(T=%d)", tr))
 	}
 	tb := stats.NewTable("Figure 6: overhead benchmark, 32 user partitions, 2 QPs (speedup vs baseline)", headers...)
-	baseCache := map[int]time.Duration{}
-	for _, s := range sizes {
-		cfg.progress("fig6: size %s", stats.FormatBytes(s))
+	variants := make([]core.Options, len(transports))
+	for i, tr := range transports {
+		variants[i] = core.Options{
+			Strategy:       core.StrategyPLogGP,
+			TransportParts: tr,
+			QPs:            2,
+		}
+	}
+	rows, err := overheadTable(cfg, "fig6", parts, sizes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
 		row := []any{stats.FormatBytes(s)}
-		for _, tr := range transports {
-			sp, err := overheadSpeedup(cfg, parts, s, core.Options{
-				Strategy:       core.StrategyPLogGP,
-				TransportParts: tr,
-				QPs:            2,
-			}, baseCache)
-			if err != nil {
-				return nil, err
-			}
+		for _, sp := range rows[si] {
 			row = append(row, sp)
 		}
 		tb.AddRow(row...)
@@ -244,19 +309,21 @@ func Fig7(cfg Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("speedup(QPs=%d)", q))
 	}
 	tb := stats.NewTable("Figure 7: overhead benchmark, 16 user/transport partitions (speedup vs baseline)", headers...)
-	baseCache := map[int]time.Duration{}
-	for _, s := range sizes {
-		cfg.progress("fig7: size %s", stats.FormatBytes(s))
+	variants := make([]core.Options, len(qps))
+	for i, q := range qps {
+		variants[i] = core.Options{
+			Strategy:       core.StrategyPLogGP,
+			TransportParts: parts,
+			QPs:            q,
+		}
+	}
+	rows, err := overheadTable(cfg, "fig7", parts, sizes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
 		row := []any{stats.FormatBytes(s)}
-		for _, q := range qps {
-			sp, err := overheadSpeedup(cfg, parts, s, core.Options{
-				Strategy:       core.StrategyPLogGP,
-				TransportParts: parts,
-				QPs:            q,
-			}, baseCache)
-			if err != nil {
-				return nil, err
-			}
+		for _, sp := range rows[si] {
 			row = append(row, sp)
 		}
 		tb.AddRow(row...)
@@ -273,8 +340,6 @@ func Fig8(cfg Config) ([]*stats.Table, error) {
 		partCounts = []int{32}
 		lo, hi = 128<<10, 1<<20
 	}
-	warmup, iters := cfg.iterCounts()
-
 	var tables []*stats.Table
 	for _, parts := range partCounts {
 		sizes := sizesPow2(lo, hi, parts)
@@ -284,6 +349,7 @@ func Fig8(cfg Config) ([]*stats.Table, error) {
 			Sizes:     sizes,
 			Warmup:    warmupFor(cfg, 3),
 			Iters:     itersFor(cfg, 10),
+			Workers:   cfg.Jobs,
 		})
 		if err != nil {
 			return nil, err
@@ -291,23 +357,17 @@ func Fig8(cfg Config) ([]*stats.Table, error) {
 		tb := stats.NewTable(
 			fmt.Sprintf("Figure 8: overhead benchmark, %d user partitions (speedup vs baseline)", parts),
 			"size", "tuning-table", "ploggp")
-		baseCache := map[int]time.Duration{}
-		for _, s := range sizes {
-			cfg.progress("fig8: %d partitions, size %s", parts, stats.FormatBytes(s))
-			spTable, err := overheadSpeedup(cfg, parts, s,
-				core.Options{Strategy: core.StrategyTuningTable, Table: table}, baseCache)
-			if err != nil {
-				return nil, err
-			}
-			spModel, err := overheadSpeedup(cfg, parts, s,
-				core.Options{Strategy: core.StrategyPLogGP}, baseCache)
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow(stats.FormatBytes(s), spTable, spModel)
+		rows, err := overheadTable(cfg, fmt.Sprintf("fig8: %d partitions,", parts), parts, sizes,
+			[]core.Options{
+				{Strategy: core.StrategyTuningTable, Table: table},
+				{Strategy: core.StrategyPLogGP},
+			})
+		if err != nil {
+			return nil, err
 		}
-		_ = warmup
-		_ = iters
+		for si, s := range sizes {
+			tb.AddRow(stats.FormatBytes(s), rows[si][0], rows[si][1])
+		}
 		tables = append(tables, tb)
 	}
 	return tables, nil
@@ -327,15 +387,15 @@ func itersFor(cfg Config, full int) int {
 	return full
 }
 
-// perceivedRun runs the perceived-bandwidth benchmark at one point.
-func perceivedRun(cfg Config, parts, size int, opts core.Options) (bench.P2PResult, error) {
+// perceivedConfig is one perceived-bandwidth run (Section V-C protocol).
+func perceivedConfig(cfg Config, parts, size int, opts core.Options) bench.P2PConfig {
 	warmup, iters := cfg.iterCounts()
 	if !cfg.Quick {
 		// 100 ms of compute per round makes 100 iterations 11+ virtual
 		// seconds; the paper's protocol, kept as is.
 		warmup, iters = 10, 30
 	}
-	return bench.RunP2P(bench.P2PConfig{
+	return bench.P2PConfig{
 		Parts:           parts,
 		Bytes:           size,
 		Compute:         100 * time.Millisecond,
@@ -344,7 +404,12 @@ func perceivedRun(cfg Config, parts, size int, opts core.Options) (bench.P2PResu
 		Warmup:          warmup,
 		Iters:           iters,
 		Opts:            opts,
-	})
+	}
+}
+
+// perceivedRun runs the perceived-bandwidth benchmark at one point.
+func perceivedRun(cfg Config, parts, size int, opts core.Options) (bench.P2PResult, error) {
+	return bench.RunP2P(perceivedConfig(cfg, parts, size, opts))
 }
 
 // Fig9 compares perceived bandwidth across the three designs.
@@ -362,19 +427,31 @@ func Fig9(cfg Config) ([]*stats.Table, error) {
 			fmt.Sprintf("Figure 9: perceived bandwidth (GB/s), %d partitions, 100 ms compute, 4%% noise (link %.1f GB/s)",
 				parts, link/1e9),
 			"size", "baseline", "ploggp", "timer(3000µs)")
+		variants := []core.Options{
+			{Strategy: core.StrategyBaseline},
+			{Strategy: core.StrategyPLogGP},
+			{Strategy: core.StrategyTimerPLogGP, Delta: 3000 * time.Microsecond},
+		}
+		jobs := make([]bench.P2PConfig, 0, len(sizes)*len(variants))
 		for _, s := range sizes {
-			cfg.progress("fig9: %d partitions, size %s", parts, stats.FormatBytes(s))
+			for _, opts := range variants {
+				jobs = append(jobs, perceivedConfig(cfg, parts, s, opts))
+			}
+		}
+		parts := parts
+		res, err := cfg.runP2PGrid(jobs, func(i int) string {
+			if i%len(variants) == 0 {
+				return fmt.Sprintf("fig9: %d partitions, size %s", parts, stats.FormatBytes(sizes[i/len(variants)]))
+			}
+			return ""
+		})
+		if err != nil {
+			return nil, err
+		}
+		for si, s := range sizes {
 			row := []any{stats.FormatBytes(s)}
-			for _, opts := range []core.Options{
-				{Strategy: core.StrategyBaseline},
-				{Strategy: core.StrategyPLogGP},
-				{Strategy: core.StrategyTimerPLogGP, Delta: 3000 * time.Microsecond},
-			} {
-				res, err := perceivedRun(cfg, parts, s, opts)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.MeanPerceivedBandwidth()/1e9)
+			for vi := range variants {
+				row = append(row, res[si*len(variants)+vi].MeanPerceivedBandwidth()/1e9)
 			}
 			tb.AddRow(row...)
 		}
@@ -434,22 +511,39 @@ func Fig12(cfg Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("minδ(%d parts)", p))
 	}
 	tb := stats.NewTable("Figure 12: estimated minimum delta for the timer aggregator", headers...)
+	// The paper's missing points: where the model requests no aggregation
+	// (transport == user partitions) the timer has nothing to group, so
+	// only the remaining cells become simulation jobs.
+	type cell struct{ size, parts int }
+	var cells []cell
+	for _, s := range sizes {
+		for _, parts := range partCounts {
+			if model.OptimalTransport(s, parts, 4*time.Millisecond) != parts {
+				cells = append(cells, cell{s, parts})
+			}
+		}
+	}
+	jobs := make([]bench.P2PConfig, len(cells))
+	for i, c := range cells {
+		jobs[i] = perceivedConfig(cfg, c.parts, c.size, core.Options{Strategy: core.StrategyPLogGP})
+	}
+	res, err := cfg.runP2PGrid(jobs, func(i int) string {
+		return fmt.Sprintf("fig12: %d partitions, size %s", cells[i].parts, stats.FormatBytes(cells[i].size))
+	})
+	if err != nil {
+		return nil, err
+	}
+	next := 0
 	for _, s := range sizes {
 		row := []any{stats.FormatBytes(s)}
 		for _, parts := range partCounts {
-			// The paper's missing points: the model requests no
-			// aggregation (transport == user partitions), so the timer
-			// has nothing to group.
 			if model.OptimalTransport(s, parts, 4*time.Millisecond) == parts {
 				row = append(row, "-")
 				continue
 			}
-			cfg.progress("fig12: %d partitions, size %s", parts, stats.FormatBytes(s))
-			res, err := perceivedRun(cfg, parts, s, core.Options{Strategy: core.StrategyPLogGP})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Profile.MinDelta(res.Warmup))
+			r := res[next]
+			next++
+			row = append(row, r.Profile.MinDelta(r.Warmup))
 		}
 		tb.AddRow(row...)
 	}
@@ -469,18 +563,28 @@ func Fig13(cfg Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("BW(δ=%v)", d))
 	}
 	tb := stats.NewTable("Figure 13: perceived bandwidth (GB/s) around the minimum delta, 32 partitions", headers...)
+	jobs := make([]bench.P2PConfig, 0, len(sizes)*len(deltas))
 	for _, s := range sizes {
-		cfg.progress("fig13: size %s", stats.FormatBytes(s))
-		row := []any{stats.FormatBytes(s)}
 		for _, d := range deltas {
-			res, err := perceivedRun(cfg, parts, s, core.Options{
+			jobs = append(jobs, perceivedConfig(cfg, parts, s, core.Options{
 				Strategy: core.StrategyTimerPLogGP,
 				Delta:    d,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.MeanPerceivedBandwidth()/1e9)
+			}))
+		}
+	}
+	res, err := cfg.runP2PGrid(jobs, func(i int) string {
+		if i%len(deltas) == 0 {
+			return fmt.Sprintf("fig13: size %s", stats.FormatBytes(sizes[i/len(deltas)]))
+		}
+		return ""
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
+		row := []any{stats.FormatBytes(s)}
+		for di := range deltas {
+			row = append(row, res[si*len(deltas)+di].MeanPerceivedBandwidth()/1e9)
 		}
 		tb.AddRow(row...)
 	}
@@ -507,16 +611,21 @@ func Fig14(cfg Config) ([]*stats.Table, error) {
 	}
 	warmup, iters := cfg.sweepIterCounts()
 
+	strategies := []core.Options{
+		{Strategy: core.StrategyBaseline},
+		{Strategy: core.StrategyPLogGP},
+		{Strategy: core.StrategyTimerPLogGP, Delta: 35 * time.Microsecond},
+	}
 	var tables []*stats.Table
 	for _, c := range configs {
 		tb := stats.NewTable(
 			fmt.Sprintf("Figure 14%s: Sweep3D %dx%d ranks x %d threads, communication speedup vs baseline",
 				c.label[:3], gridX, gridY, threads),
 			"size", "ploggp", "timer-ploggp")
+		jobs := make([]bench.SweepConfig, 0, len(sizes)*len(strategies))
 		for _, s := range sizes {
-			cfg.progress("fig14%s: size %s", c.label[:3], stats.FormatBytes(s))
-			run := func(opts core.Options) (time.Duration, error) {
-				res, err := bench.RunSweep(bench.SweepConfig{
+			for _, opts := range strategies {
+				jobs = append(jobs, bench.SweepConfig{
 					GridX: gridX, GridY: gridY,
 					Threads:  threads,
 					Bytes:    s,
@@ -526,24 +635,24 @@ func Fig14(cfg Config) ([]*stats.Table, error) {
 					Iters:    iters,
 					Opts:     opts,
 				})
-				if err != nil {
-					return 0, err
-				}
-				return res.MeanCommTime(), nil
 			}
-			base, err := run(core.Options{Strategy: core.StrategyBaseline})
-			if err != nil {
-				return nil, err
+		}
+		c := c
+		res, err := cfg.runSweepGrid(jobs, func(i int) string {
+			if i%len(strategies) == 0 {
+				return fmt.Sprintf("fig14%s: size %s", c.label[:3], stats.FormatBytes(sizes[i/len(strategies)]))
 			}
-			plog, err := run(core.Options{Strategy: core.StrategyPLogGP})
-			if err != nil {
-				return nil, err
-			}
-			timer, err := run(core.Options{Strategy: core.StrategyTimerPLogGP, Delta: 35 * time.Microsecond})
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow(stats.FormatBytes(s), stats.Speedup(base, plog), stats.Speedup(base, timer))
+			return ""
+		})
+		if err != nil {
+			return nil, err
+		}
+		for si, s := range sizes {
+			block := res[si*len(strategies) : (si+1)*len(strategies)]
+			base := block[0].MeanCommTime()
+			tb.AddRow(stats.FormatBytes(s),
+				stats.Speedup(base, block[1].MeanCommTime()),
+				stats.Speedup(base, block[2].MeanCommTime()))
 		}
 		tables = append(tables, tb)
 	}

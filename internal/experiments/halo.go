@@ -6,6 +6,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Halo runs the halo-exchange pattern from the paper's benchmark suite
@@ -24,10 +25,15 @@ func Halo(cfg Config) ([]*stats.Table, error) {
 	tb := stats.NewTable(
 		"Halo exchange (extension): communication speedup vs baseline, 1 ms compute, 1% noise",
 		"size", "ploggp", "timer-ploggp")
+	strategies := []core.Options{
+		{Strategy: core.StrategyBaseline},
+		{Strategy: core.StrategyPLogGP},
+		{Strategy: core.StrategyTimerPLogGP, Delta: 35 * time.Microsecond},
+	}
+	jobs := make([]bench.HaloConfig, 0, len(sizes)*len(strategies))
 	for _, s := range sizes {
-		cfg.progress("halo: size %s", stats.FormatBytes(s))
-		run := func(opts core.Options) (time.Duration, error) {
-			res, err := bench.RunHalo(bench.HaloConfig{
+		for _, opts := range strategies {
+			jobs = append(jobs, bench.HaloConfig{
 				GridX: gridX, GridY: gridY,
 				Threads:  threads,
 				Bytes:    s,
@@ -37,24 +43,27 @@ func Halo(cfg Config) ([]*stats.Table, error) {
 				Iters:    iters,
 				Opts:     opts,
 			})
-			if err != nil {
-				return 0, err
+		}
+	}
+	res := make([]bench.HaloResult, len(jobs))
+	err := sweep.Ordered(cfg.Jobs, len(jobs),
+		func(i int) (bench.HaloResult, error) { return bench.RunHalo(jobs[i]) },
+		func(i int, r bench.HaloResult) error {
+			if i%len(strategies) == 0 {
+				cfg.progress("halo: size %s", stats.FormatBytes(sizes[i/len(strategies)]))
 			}
-			return res.MeanCommTime(), nil
-		}
-		base, err := run(core.Options{Strategy: core.StrategyBaseline})
-		if err != nil {
-			return nil, err
-		}
-		plog, err := run(core.Options{Strategy: core.StrategyPLogGP})
-		if err != nil {
-			return nil, err
-		}
-		timer, err := run(core.Options{Strategy: core.StrategyTimerPLogGP, Delta: 35 * time.Microsecond})
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(stats.FormatBytes(s), stats.Speedup(base, plog), stats.Speedup(base, timer))
+			res[i] = r
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
+		block := res[si*len(strategies) : (si+1)*len(strategies)]
+		base := block[0].MeanCommTime()
+		tb.AddRow(stats.FormatBytes(s),
+			stats.Speedup(base, block[1].MeanCommTime()),
+			stats.Speedup(base, block[2].MeanCommTime()))
 	}
 	return []*stats.Table{tb}, nil
 }

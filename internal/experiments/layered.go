@@ -11,6 +11,7 @@ import (
 	"repro/internal/pt2pt"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // AblationLayered compares the portable layered partitioned implementation
@@ -30,21 +31,39 @@ func AblationLayered(cfg Config) ([]*stats.Table, error) {
 	tb := stats.NewTable(
 		"Ablation: layered (MPIPCL-style) vs in-library baseline, 16 partitions",
 		"size", "baseline round", "layered round", "layered/baseline")
-	for _, s := range sizes {
-		cfg.progress("ablation-layered: size %s", stats.FormatBytes(s))
-		base, err := bench.RunP2P(bench.P2PConfig{
-			Parts: parts, Bytes: s, Warmup: warmup, Iters: iters,
-			Opts: core.Options{Strategy: core.StrategyBaseline},
+	// One job per size; each runs its baseline and layered simulations
+	// back to back (both are independent engines, so sizes parallelize).
+	type pair struct {
+		base    bench.P2PResult
+		layered time.Duration
+	}
+	pairs := make([]pair, len(sizes))
+	err := sweep.Ordered(cfg.Jobs, len(sizes),
+		func(i int) (pair, error) {
+			base, err := bench.RunP2P(bench.P2PConfig{
+				Parts: parts, Bytes: sizes[i], Warmup: warmup, Iters: iters,
+				Opts: core.Options{Strategy: core.StrategyBaseline},
+			})
+			if err != nil {
+				return pair{}, err
+			}
+			layered, err := runLayeredOverhead(parts, sizes[i], warmup, iters)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{base, layered}, nil
+		},
+		func(i int, p pair) error {
+			cfg.progress("ablation-layered: size %s", stats.FormatBytes(sizes[i]))
+			pairs[i] = p
+			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		layered, err := runLayeredOverhead(parts, s, warmup, iters)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(stats.FormatBytes(s), base.MeanIterTime(), layered,
-			float64(layered)/float64(base.MeanIterTime()))
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sizes {
+		tb.AddRow(stats.FormatBytes(s), pairs[si].base.MeanIterTime(), pairs[si].layered,
+			float64(pairs[si].layered)/float64(pairs[si].base.MeanIterTime()))
 	}
 	return []*stats.Table{tb}, nil
 }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll runs one experiment and renders every resulting table as CSV.
+func renderAll(t *testing.T, name string, cfg Config) string {
+	t.Helper()
+	run, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
+	}
+	tables, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.Title)
+		sb.WriteByte('\n')
+		if err := tb.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// TestSerialParallelParity: every registry driver must produce
+// byte-identical tables with Jobs=1 and Jobs=4 — the guarantee that lets
+// the sweep layer parallelize the paper's exhibits at all. Quick mode
+// keeps the double pass affordable.
+func TestSerialParallelParity(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial := renderAll(t, name, Config{Quick: true, Jobs: 1})
+			parallel := renderAll(t, name, Config{Quick: true, Jobs: 4})
+			if serial != parallel {
+				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial, parallel)
+			}
+		})
+	}
+}

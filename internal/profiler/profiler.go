@@ -69,10 +69,25 @@ func (r *Round) Spread() time.Duration {
 	return last.Sub(first)
 }
 
+// arenaRounds is how many rounds' worth of per-partition storage each
+// arena chunk holds; rounds are carved out of the chunk so recording
+// amortizes to three allocations per arenaRounds rounds instead of three
+// per round (Round struct + PreadyAt + Seen).
+const arenaRounds = 64
+
 // Recorder implements core.Observer, accumulating one Round per Start.
+// Recorded rounds are retained for post-run analysis, so per-round slices
+// cannot literally be reused — instead they are block-allocated from
+// arenas (see arenaRounds) to cut the per-round allocation churn of long
+// profiled sweeps.
 type Recorder struct {
 	parts  int
 	rounds []*Round
+	// Arena tails; each PsendStart carves the next round's storage off
+	// these and refills them arenaRounds at a time.
+	roundArena []Round
+	timeArena  []sim.Time
+	seenArena  []bool
 }
 
 // New creates a recorder for a request with the given partition count.
@@ -88,11 +103,19 @@ func (rec *Recorder) PsendStart(round int, at sim.Time) {
 	if round != len(rec.rounds)+1 {
 		panic(fmt.Sprintf("profiler: round %d out of sequence (have %d)", round, len(rec.rounds)))
 	}
-	rec.rounds = append(rec.rounds, &Round{
-		StartAt:  at,
-		PreadyAt: make([]sim.Time, rec.parts),
-		Seen:     make([]bool, rec.parts),
-	})
+	if len(rec.roundArena) == 0 {
+		rec.roundArena = make([]Round, arenaRounds)
+		rec.timeArena = make([]sim.Time, arenaRounds*rec.parts)
+		rec.seenArena = make([]bool, arenaRounds*rec.parts)
+	}
+	r := &rec.roundArena[0]
+	rec.roundArena = rec.roundArena[1:]
+	r.StartAt = at
+	r.PreadyAt = rec.timeArena[:rec.parts:rec.parts]
+	r.Seen = rec.seenArena[:rec.parts:rec.parts]
+	rec.timeArena = rec.timeArena[rec.parts:]
+	rec.seenArena = rec.seenArena[rec.parts:]
+	rec.rounds = append(rec.rounds, r)
 }
 
 // PreadyCalled records one partition's arrival.

@@ -1,0 +1,52 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkRecorderRound measures the per-round recording cost; the arena
+// allocator amortizes the three per-round allocations (Round, PreadyAt,
+// Seen) over arenaRounds rounds.
+func BenchmarkRecorderRound(b *testing.B) {
+	const parts = 32
+	rec := New(parts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.PsendStart(i+1, sim.Time(i)*sim.Time(time.Microsecond))
+		for p := 0; p < parts; p++ {
+			rec.PreadyCalled(i+1, p, sim.Time(i)*sim.Time(time.Microsecond))
+		}
+	}
+}
+
+// TestArenaRoundsStayIndependent guards the arena refactor: rounds carved
+// from the same chunk must never alias each other's storage.
+func TestArenaRoundsStayIndependent(t *testing.T) {
+	const parts = 4
+	rec := New(parts)
+	total := arenaRounds*2 + 3 // span multiple chunks
+	for round := 1; round <= total; round++ {
+		rec.PsendStart(round, sim.Time(round))
+		for p := 0; p < parts; p++ {
+			rec.PreadyCalled(round, p, sim.Time(round*100+p))
+		}
+	}
+	if rec.Rounds() != total {
+		t.Fatalf("Rounds() = %d, want %d", rec.Rounds(), total)
+	}
+	for round := 1; round <= total; round++ {
+		r := rec.Round(round - 1)
+		if r.StartAt != sim.Time(round) {
+			t.Fatalf("round %d StartAt = %v", round, r.StartAt)
+		}
+		for p := 0; p < parts; p++ {
+			if !r.Seen[p] || r.PreadyAt[p] != sim.Time(round*100+p) {
+				t.Fatalf("round %d partition %d: seen=%v at=%v", round, p, r.Seen[p], r.PreadyAt[p])
+			}
+		}
+	}
+}

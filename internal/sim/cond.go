@@ -62,7 +62,7 @@ func (c *Cond) Signal() {
 			continue
 		}
 		w.done = true
-		c.e.schedule(c.e.now, w.p.dispatch)
+		c.e.schedule(c.e.now, w.p.dispatchFn)
 		return
 	}
 }
@@ -76,7 +76,7 @@ func (c *Cond) Broadcast() {
 			continue
 		}
 		w.done = true
-		c.e.schedule(c.e.now, w.p.dispatch)
+		c.e.schedule(c.e.now, w.p.dispatchFn)
 	}
 }
 

@@ -12,10 +12,18 @@ import (
 // other procs and events run. Methods on Proc must only be called from the
 // proc's own body function.
 type Proc struct {
-	e          *Engine
-	name       string
-	resume     chan struct{}
-	yield      chan struct{}
+	e    *Engine
+	name string
+	// handoff is the single rendezvous channel between the engine's event
+	// loop and the proc goroutine. Because exactly one side runs at a
+	// time, the control transfers strictly alternate — engine→proc
+	// (dispatch), proc→engine (park or exit) — so one unbuffered channel
+	// serves both directions, halving the channels allocated per proc and
+	// the sudog traffic of the old separate resume/yield pair.
+	handoff chan struct{}
+	// dispatchFn caches the p.dispatch method value so rescheduling the
+	// proc (Sleep, Yield, cond waits) does not allocate a closure per park.
+	dispatchFn func()
 	done       bool
 	daemon     bool
 	parkReason string
@@ -39,20 +47,20 @@ func (e *ProcError) Error() string {
 // current virtual time (after already-pending same-time events).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		e:      e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		e:       e,
+		name:    name,
+		handoff: make(chan struct{}),
 	}
+	p.dispatchFn = p.dispatch
 	e.live[p] = struct{}{}
 	go p.body(fn)
-	e.schedule(e.now, p.dispatch)
+	e.schedule(e.now, p.dispatchFn)
 	return p
 }
 
 // body is the goroutine wrapper around the user function.
 func (p *Proc) body(fn func(p *Proc)) {
-	<-p.resume
+	<-p.handoff
 	defer func() {
 		r := recover()
 		if r != nil {
@@ -62,29 +70,31 @@ func (p *Proc) body(fn func(p *Proc)) {
 		}
 		p.done = true
 		delete(p.e.live, p)
-		p.yield <- struct{}{}
+		p.handoff <- struct{}{}
 	}()
 	fn(p)
 }
 
 // dispatch hands control to the proc and blocks until it parks or exits.
-// It runs on the engine's event loop.
+// It runs on the engine's event loop. The send wakes the proc (which is
+// blocked receiving in park or at startup); the receive completes when
+// the proc parks again or its body returns.
 func (p *Proc) dispatch() {
 	if p.done {
 		return
 	}
 	prev := p.e.running
 	p.e.running = p
-	p.resume <- struct{}{}
-	<-p.yield
+	p.handoff <- struct{}{}
+	<-p.handoff
 	p.e.running = prev
 }
 
 // park returns control to the engine until the proc is dispatched again.
 func (p *Proc) park(reason string) {
 	p.parkReason = reason
-	p.yield <- struct{}{}
-	<-p.resume
+	p.handoff <- struct{}{}
+	<-p.handoff
 	p.parkReason = ""
 }
 
@@ -112,7 +122,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.schedule(p.e.now.Add(d), p.dispatch)
+	p.e.schedule(p.e.now.Add(d), p.dispatchFn)
 	p.park("sleeping")
 }
 

@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,14 +98,50 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled event structs (see schedule/recycle)
 	live    map[*Proc]struct{}
 	running *Proc
 	err     error
+	// stepped counts events executed by this engine; the delta since
+	// flushedAt is folded into the process-wide totalEvents counter when
+	// Run/RunUntil return, so the hot loop stays free of atomic
+	// operations.
+	stepped   uint64
+	flushedAt uint64
 }
+
+// initialHeapCap pre-sizes the event heap and free list: typical
+// simulations here keep hundreds of in-flight events (one per parked
+// proc plus wire/timer events), so starting at a real capacity avoids
+// the early growth reallocations on every run.
+const initialHeapCap = 256
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[*Proc]struct{})}
+	return &Engine{
+		live:   make(map[*Proc]struct{}),
+		events: make(eventHeap, 0, initialHeapCap),
+	}
+}
+
+// totalEvents accumulates executed-event counts across all engines in the
+// process (parallel sweeps run many engines at once).
+var totalEvents atomic.Uint64
+
+// TotalEvents reports the number of events executed by all engines in this
+// process whose Run/RunUntil has returned. It is safe for concurrent use
+// and is intended for coarse events/sec throughput reporting.
+func TotalEvents() uint64 { return totalEvents.Load() }
+
+// Events reports the number of events this engine has executed so far.
+func (e *Engine) Events() uint64 { return e.stepped }
+
+// flushStats folds the engine's local event count into the global total.
+func (e *Engine) flushStats() {
+	if d := e.stepped - e.flushedAt; d != 0 {
+		totalEvents.Add(d)
+		e.flushedAt = e.stepped
+	}
 }
 
 // Now returns the current virtual time.
@@ -123,14 +160,35 @@ func (e *Engine) Pending() int {
 
 // schedule enqueues fn to run at time at. Scheduling in the past is an
 // engine-usage bug and panics.
+//
+// Event structs come from a per-engine free list: once an event has fired
+// (or been popped cancelled) it is recycled, so steady-state simulation
+// does one event allocation per *concurrent* event rather than one per
+// scheduled event. The seq field doubles as an identity generation —
+// Timer.Stop compares it to detect recycled events.
 func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn, ev.cancelled = at, e.seq, fn, false
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// recycle returns a popped event to the free list. The fn reference is
+// dropped so captured state can be collected.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at the absolute virtual time at.
@@ -146,8 +204,10 @@ func (e *Engine) After(d time.Duration, fn func()) {
 
 // Timer is a cancellable scheduled callback, analogous to time.Timer.
 type Timer struct {
-	e  *Engine
-	ev *event
+	e   *Engine
+	ev  *event
+	seq uint64 // identity of ev at creation; stale once ev is recycled
+	at  Time
 }
 
 // AfterFunc schedules fn to run d from now and returns a Timer that can
@@ -156,13 +216,16 @@ func (e *Engine) AfterFunc(d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{e: e, ev: e.schedule(e.now.Add(d), fn)}
+	ev := e.schedule(e.now.Add(d), fn)
+	return &Timer{e: e, ev: ev, seq: ev.seq, at: ev.at}
 }
 
 // Stop cancels the timer. It reports whether the callback was prevented
 // from running (false if it already ran or was already stopped).
 func (t *Timer) Stop() bool {
-	if t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+	// ev is recycled after firing; a seq mismatch means this slot now
+	// belongs to a different, later event that must not be cancelled.
+	if t.ev == nil || t.ev.seq != t.seq || t.ev.cancelled || t.ev.index < 0 {
 		return false
 	}
 	t.ev.cancelled = true
@@ -170,7 +233,7 @@ func (t *Timer) Stop() bool {
 }
 
 // When returns the virtual time at which the timer fires.
-func (t *Timer) When() Time { return t.ev.at }
+func (t *Timer) When() Time { return t.at }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
@@ -178,10 +241,14 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
+		e.stepped++
 		return true
 	}
 	return false
@@ -191,6 +258,7 @@ func (e *Engine) Step() bool {
 // the first proc error (a propagated panic), a DeadlockError if non-daemon
 // procs remain parked with nothing to wake them, or nil.
 func (e *Engine) Run() error {
+	defer e.flushStats()
 	for e.err == nil && e.Step() {
 	}
 	if e.err != nil {
@@ -203,6 +271,7 @@ func (e *Engine) Run() error {
 // It returns the same errors as Run, except that parked procs are not a
 // deadlock if events remain beyond t.
 func (e *Engine) RunUntil(t Time) error {
+	defer e.flushStats()
 	for e.err == nil {
 		if len(e.events) == 0 {
 			break

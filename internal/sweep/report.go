@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchReport is the machine-readable record of one serial-vs-parallel
+// sweep comparison (written as BENCH_parallel.json by cmd/partbench and
+// cmd/tuningsearch) so the perf trajectory of the orchestration layer is
+// tracked PR over PR.
+type BenchReport struct {
+	// Tool identifies the producing binary and workload, e.g.
+	// "tuningsearch" or "partbench fig8".
+	Tool string `json:"tool"`
+	// GOMAXPROCS is the core budget the parallel pass ran under.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the -j value of the parallel pass.
+	Workers int `json:"workers"`
+	// SerialSeconds and ParallelSeconds are wall-clock times of the two
+	// passes over the identical workload.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	// Speedup is SerialSeconds / ParallelSeconds.
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether the parallel pass produced byte-identical
+	// output to the serial pass.
+	Identical bool `json:"identical"`
+	// Events is the number of simulation events executed during the
+	// parallel pass; EventsPerSec divides by its wall time.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerEvent is heap allocations per simulation event during the
+	// parallel pass (runtime.MemStats.Mallocs delta over events) — the
+	// metric the sim event free list is judged on.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// Measurement captures the counters needed around one benchmark pass.
+type Measurement struct {
+	start   time.Time
+	events  uint64
+	mallocs uint64
+}
+
+// StartMeasure snapshots wall clock, event, and allocation counters.
+func StartMeasure() Measurement {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Measurement{start: time.Now(), events: sim.TotalEvents(), mallocs: ms.Mallocs}
+}
+
+// Stop returns wall seconds, events executed, and allocations since
+// StartMeasure.
+func (m Measurement) Stop() (seconds float64, events, allocs uint64) {
+	seconds = time.Since(m.start).Seconds()
+	events = sim.TotalEvents() - m.events
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return seconds, events, ms.Mallocs - m.mallocs
+}
+
+// NewReport assembles a BenchReport from the two passes' measurements.
+func NewReport(tool string, workers int, serialSec float64, parSec float64, parEvents, parAllocs uint64, identical bool) BenchReport {
+	r := BenchReport{
+		Tool:            tool,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         Jobs(workers),
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parSec,
+		Identical:       identical,
+		Events:          parEvents,
+	}
+	if parSec > 0 {
+		r.Speedup = serialSec / parSec
+		r.EventsPerSec = float64(parEvents) / parSec
+	}
+	if parEvents > 0 {
+		r.AllocsPerEvent = float64(parAllocs) / float64(parEvents)
+	}
+	return r
+}
+
+// WriteReportFile writes the report as indented JSON to path.
+func WriteReportFile(path string, r BenchReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 // SearchConfig bounds the exhaustive search.
@@ -32,7 +33,18 @@ type SearchConfig struct {
 	Warmup int
 	Iters  int
 	// Progress, if non-nil, is called once per (parts, size) point.
+	//
+	// Concurrency contract: even when Workers > 1, Progress is invoked
+	// from the single collector goroutine running Search, in submission
+	// order (the same order the serial sweep visits points), immediately
+	// before the point's result is recorded. Implementations therefore
+	// need no locking of their own.
 	Progress func(parts, size int)
+	// Workers bounds the number of points evaluated concurrently. Each
+	// point is an independent deterministic simulation, so the resulting
+	// table is byte-identical for any worker count. Zero or negative
+	// selects GOMAXPROCS; 1 forces the serial path.
+	Workers int
 }
 
 func (c SearchConfig) withDefaults() SearchConfig {
@@ -70,27 +82,46 @@ func (c SearchConfig) Validate() error {
 	return nil
 }
 
-// Search runs the exhaustive sweep and returns the winning table.
+// Search runs the exhaustive sweep and returns the winning table. Points
+// are evaluated concurrently on cfg.Workers goroutines (each point is an
+// independent deterministic simulation), but results are recorded — and
+// Progress invoked — in the serial sweep's order, so the table is
+// byte-identical for any worker count.
 func Search(cfg SearchConfig) (*core.TuningTable, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	table := core.NewTuningTable()
+	type point struct{ parts, size int }
+	var points []point
 	for _, parts := range cfg.UserParts {
 		for _, size := range cfg.Sizes {
 			if size%parts != 0 {
 				continue // not a realizable partitioning
 			}
-			if cfg.Progress != nil {
-				cfg.Progress(parts, size)
-			}
-			best, err := searchPoint(cfg, parts, size)
-			if err != nil {
-				return nil, fmt.Errorf("tuning: point (%d parts, %d B): %w", parts, size, err)
-			}
-			table.Set(core.TuningKey{UserParts: parts, Bytes: size}, best)
+			points = append(points, point{parts, size})
 		}
+	}
+	table := core.NewTuningTable()
+	err := sweep.Ordered(cfg.Workers, len(points),
+		func(i int) (core.TuningValue, error) {
+			pt := points[i]
+			best, err := searchPoint(cfg, pt.parts, pt.size)
+			if err != nil {
+				return core.TuningValue{}, fmt.Errorf("tuning: point (%d parts, %d B): %w", pt.parts, pt.size, err)
+			}
+			return best, nil
+		},
+		func(i int, best core.TuningValue) error {
+			pt := points[i]
+			if cfg.Progress != nil {
+				cfg.Progress(pt.parts, pt.size)
+			}
+			table.Set(core.TuningKey{UserParts: pt.parts, Bytes: pt.size}, best)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
 }
@@ -120,7 +151,17 @@ func searchPoint(cfg SearchConfig, parts, size int) (core.TuningValue, error) {
 				return core.TuningValue{}, err
 			}
 			t := int64(res.MeanIterTime())
-			if bestTime < 0 || t < bestTime {
+			// Argmin with an explicit deterministic tie-break: on equal
+			// mean time prefer the lexicographically smallest
+			// (transport, qps), so serial and parallel sweeps — and any
+			// future candidate enumeration order — pick the same entry.
+			better := bestTime < 0 || t < bestTime
+			if !better && t == bestTime {
+				c := core.TuningValue{Transport: transport, QPs: qps}
+				better = c.Transport < best.Transport ||
+					(c.Transport == best.Transport && c.QPs < best.QPs)
+			}
+			if better {
 				bestTime = t
 				best = core.TuningValue{Transport: transport, QPs: qps}
 			}
