@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-parallel
+.PHONY: check vet build test race bench bench-hotpath bench-parallel
 
 check: vet build test race
 
@@ -23,10 +23,20 @@ test:
 race:
 	$(GO) test -race ./internal/sweep/... ./internal/tuning/...
 
-# Paper-exhibit benchmarks (quick mode), plus the sim hot-path benchmarks.
+# Hot-path allocation gates and benchmarks: the AllocsPerRun regression
+# tests assert the sim typed-event and fabric message paths stay at zero
+# steady-state allocations, then the named engine benchmarks report
+# per-op allocation counts, then the paper-exhibit benchmarks run in
+# quick mode.
 bench:
-	$(GO) test -bench . -benchmem -run xxx ./internal/sim/ ./internal/profiler/
+	$(GO) test -run SteadyStateZeroAllocs -v ./internal/sim/ ./internal/fabric/
+	$(GO) test -bench 'BenchmarkEngineEventChurn|BenchmarkProcParkResume' -benchmem -run xxx ./internal/sim/
+	$(GO) test -bench . -benchmem -run xxx ./internal/fabric/ ./internal/profiler/
 	$(GO) test -bench . -benchmem -run xxx .
+
+# Regenerate BENCH_hotpath.json: fixed single-engine hot-path workload.
+bench-hotpath:
+	$(GO) run ./cmd/partbench -hotpathjson BENCH_hotpath.json
 
 # Regenerate BENCH_parallel.json: serial-vs-parallel tuning sweep report.
 bench-parallel:

@@ -8,6 +8,8 @@
 //	partbench -experiment fig9 -csv out/  # also write CSV per table
 //	partbench -experiment fig8 -j 8       # sweep on 8 workers
 //	partbench -experiment all -quick -benchjson BENCH_parallel.json
+//	partbench -hotpathjson BENCH_hotpath.json   # single-engine hot-path bench
+//	partbench -hotpathjson /dev/null -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints the rows/series of the corresponding figure or
 // table of "A Dynamic Network-Native MPI Partitioned Aggregation Over
@@ -27,9 +29,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -43,7 +49,46 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to also write one CSV per table")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
+	hotpathJSON := flag.String("hotpathjson", "", "run the fixed single-engine hot-path workload and write its report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *hotpathJSON != "" {
+		if err := runHotpath(*hotpathJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
@@ -105,6 +150,9 @@ func main() {
 			"partbench: serial %.2fs, parallel %.2fs on %d workers (%.2fx), %.0f events/sec, %.2f allocs/event, identical=%v\n",
 			report.SerialSeconds, report.ParallelSeconds, report.Workers,
 			report.Speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
+		if report.Warning != "" {
+			fmt.Fprintf(os.Stderr, "partbench: warning: %s\n", report.Warning)
+		}
 		return
 	}
 
@@ -141,6 +189,52 @@ func runSuite(names []string, cfg experiments.Config, w io.Writer, csvDir string
 		// byte-comparable across passes.
 		fmt.Fprintf(os.Stderr, "# %s done in %v (wall)\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// hotpathBaseline records the single-engine throughput before the
+// allocation-free event hot path landed (the PR-1 BENCH_parallel.json
+// measurement: 1.05 M events over a 2.25 s serial tuning sweep at 2.08
+// allocs/event). BENCH_hotpath.json reports the current run against it.
+const (
+	hotpathBaselineEventsPerSec   = 465775.6
+	hotpathBaselineAllocsPerEvent = 2.0787
+)
+
+// runHotpath times the fixed single-engine workload — a serial grid of
+// point-to-point partitioned runs over three sizes and three aggregation
+// strategies, one deterministic engine at a time — and writes the hot-path
+// report. Sizes are kept small so the measurement is message-rate-bound
+// (per-event software overhead, the quantity the hot path optimizes)
+// rather than dominated by payload memmove; the workload is fixed so
+// events/sec and allocs/event are comparable PR over PR.
+func runHotpath(path string) error {
+	const workload = "p2p parts=32 sizes=16KiB,64KiB,256KiB strategies=baseline,ploggp,timer iters=200 serial"
+	sizes := []int{16 << 10, 64 << 10, 256 << 10}
+	strategies := []core.Options{
+		{Strategy: core.StrategyBaseline},
+		{Strategy: core.StrategyPLogGP},
+		{Strategy: core.StrategyTimerPLogGP},
+	}
+	m := sweep.StartMeasure()
+	for _, size := range sizes {
+		for _, opts := range strategies {
+			cfg := bench.P2PConfig{Parts: 32, Bytes: size, Warmup: 10, Iters: 200, Opts: opts}
+			if _, err := bench.RunP2P(cfg); err != nil {
+				return err
+			}
+		}
+	}
+	sec, events, allocs := m.Stop()
+	report := sweep.NewHotpathReport("partbench", workload, sec, events, allocs,
+		hotpathBaselineEventsPerSec, hotpathBaselineAllocsPerEvent)
+	if err := sweep.WriteHotpathFile(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"partbench: hotpath %.2fs, %d events, %.0f events/sec (%.2fx baseline), %.3f allocs/event (baseline %.2f)\n",
+		report.Seconds, report.Events, report.EventsPerSec, report.EventsPerSecRatio,
+		report.AllocsPerEvent, report.BaselineAllocsPerEvent)
 	return nil
 }
 

@@ -109,6 +109,9 @@ func main() {
 			"tuningsearch: serial %.2fs, parallel %.2fs on %d workers (%.2fx), %.0f events/sec, %.2f allocs/event, identical=%v\n",
 			report.SerialSeconds, report.ParallelSeconds, report.Workers,
 			report.Speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
+		if report.Warning != "" {
+			fmt.Fprintf(os.Stderr, "tuningsearch: warning: %s\n", report.Warning)
+		}
 		writeOutput(*out, parallelOut)
 		return
 	}

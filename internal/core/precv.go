@@ -36,6 +36,9 @@ type Precv struct {
 	// availWRs counts receive WRs posted but not yet consumed, per QP;
 	// Start tops each queue up to its worst-case need.
 	availWRs []int
+	// needWRs is Start's per-QP replenish target, computed once (the plan
+	// is fixed after matching) so re-arming allocates nothing.
+	needWRs []int
 }
 
 // PrecvInit initializes a persistent partitioned receive of buf from
@@ -96,12 +99,13 @@ func (pr *Precv) Start(p *sim.Proc) {
 	if pr.strategy != StrategyBaseline {
 		if pr.availWRs == nil {
 			pr.availWRs = make([]int, len(pr.qps))
+			pr.needWRs = make([]int, len(pr.qps))
+			groupSize := pr.userParts / pr.transport
+			for g := 0; g < pr.transport; g++ {
+				pr.needWRs[g%len(pr.qps)] += groupSize
+			}
 		}
-		groupSize := pr.userParts / pr.transport
-		need := make([]int, len(pr.qps))
-		for g := 0; g < pr.transport; g++ {
-			need[g%len(pr.qps)] += groupSize
-		}
+		need := pr.needWRs
 		recvPost := pr.r.World().Costs().RecvPostOverhead
 		for q, qp := range pr.qps {
 			for pr.availWRs[q] < need[q] {

@@ -52,6 +52,12 @@ type Psend struct {
 	sentParts    int
 	postedWRs    int
 	completedWRs int
+
+	// sgeScratch backs the one-element gather list of every posted WR.
+	// PostSend consumes the gather list synchronously (no park between
+	// filling the scratch and the post), so one scratch per request
+	// suffices and postRun allocates no slice per WR.
+	sgeScratch [1]ibv.SGE
 }
 
 // sendGroup is the per-transport-partition send state for one round.
@@ -169,20 +175,35 @@ func (ps *Psend) Plan() Plan { return ps.plan }
 // Start arms the next communication round. The sender blocks until the
 // receiver has granted the round (flags cleared, receive WRs replenished);
 // for the first round this subsumes the paper's poll-until-remote-ready.
+//
+// The per-transport-partition groups are built once and reset in place on
+// later rounds: the plan is fixed at init time, so re-arming a persistent
+// request allocates nothing.
 func (ps *Psend) Start(p *sim.Proc) {
 	ps.round++
 	ps.sentParts = 0
 	ps.postedWRs = 0
 	ps.completedWRs = 0
-	ps.groups = ps.groups[:0]
-	for g := 0; g < ps.plan.Transport; g++ {
-		ps.groups = append(ps.groups, &sendGroup{
-			start: g * ps.plan.GroupSize,
-			size:  ps.plan.GroupSize,
-			ready: make([]bool, ps.plan.GroupSize),
-			sent:  make([]bool, ps.plan.GroupSize),
-			cond:  sim.NewCond(ps.r.World().Engine()),
-		})
+	if ps.groups == nil {
+		ps.groups = make([]*sendGroup, 0, ps.plan.Transport)
+		for g := 0; g < ps.plan.Transport; g++ {
+			ps.groups = append(ps.groups, &sendGroup{
+				start: g * ps.plan.GroupSize,
+				size:  ps.plan.GroupSize,
+				ready: make([]bool, ps.plan.GroupSize),
+				sent:  make([]bool, ps.plan.GroupSize),
+				cond:  sim.NewCond(ps.r.World().Engine()),
+			})
+		}
+	} else {
+		for _, g := range ps.groups {
+			g.arrived = 0
+			g.armed, g.fired = false, false
+			for i := range g.ready {
+				g.ready[i] = false
+				g.sent[i] = false
+			}
+		}
 	}
 	p.Sleep(ps.r.World().Costs().StartOverhead)
 	round := ps.round
@@ -291,10 +312,11 @@ func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) {
 	lock := ps.qpLocks[qpIdx]
 	lock.Acquire(p)
 	p.Sleep(ps.r.World().Costs().PostOverhead)
+	ps.sgeScratch[0] = ps.mr.SGEFor(off, bytes)
 	err := qp.PostSend(ibv.SendWR{
 		WRID:       uint64(ps.reqID)<<32 | uint64(uint32(first)),
 		Opcode:     ibv.OpRDMAWriteImm,
-		SGList:     []ibv.SGE{ps.mr.SGEFor(off, bytes)},
+		SGList:     ps.sgeScratch[:],
 		RemoteAddr: ps.remoteAddr + uint64(off),
 		RKey:       ps.remoteRKey,
 		Imm:        EncodeImm(uint16(first), uint16(count)),

@@ -133,6 +133,9 @@ type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
 	ports []*Port
+	// ctrlFree recycles control-plane delivery records so SendControl does
+	// not allocate per message once warm.
+	ctrlFree []*ctrlDelivery
 }
 
 // New creates a fabric on the engine. It panics on invalid configuration
@@ -197,6 +200,29 @@ func (p *Port) SetControlHandler(h func(from *Port, payload any)) {
 	p.ctrlHandler = h
 }
 
+// ctrlDelivery is one in-flight control-plane message, pre-bound to the
+// delivery event so SendControl schedules without a closure.
+type ctrlDelivery struct {
+	src, dst *Port
+	payload  any
+}
+
+// fireCtrlDeliver hands an arrived control message to the destination
+// handler and recycles the delivery record.
+func fireCtrlDeliver(_ sim.Time, arg any) {
+	cd := arg.(*ctrlDelivery)
+	src, dst, payload := cd.src, cd.dst, cd.payload
+	// Recycle before invoking the handler: handlers may send further
+	// control messages and can then reuse this record.
+	cd.src, cd.dst, cd.payload = nil, nil, nil
+	fab := dst.fab
+	fab.ctrlFree = append(fab.ctrlFree, cd)
+	if dst.ctrlHandler == nil {
+		panic(fmt.Sprintf("fabric: control message to %q with no handler", dst.name))
+	}
+	dst.ctrlHandler(src, payload)
+}
+
 // SendControl delivers payload to dst's control handler after the
 // control-plane latency. Delivery order to a given destination is FIFO
 // across all senders (a deterministic total order, like a serialized
@@ -208,13 +234,15 @@ func (p *Port) SendControl(dst *Port, payload any) {
 		at = dst.ctrlLastAt + 1
 	}
 	dst.ctrlLastAt = at
-	src := p
-	e.At(at, func() {
-		if dst.ctrlHandler == nil {
-			panic(fmt.Sprintf("fabric: control message to %q with no handler", dst.name))
-		}
-		dst.ctrlHandler(src, payload)
-	})
+	var cd *ctrlDelivery
+	if n := len(p.fab.ctrlFree); n > 0 {
+		cd = p.fab.ctrlFree[n-1]
+		p.fab.ctrlFree = p.fab.ctrlFree[:n-1]
+	} else {
+		cd = new(ctrlDelivery)
+	}
+	cd.src, cd.dst, cd.payload = p, dst, payload
+	e.AtCall(at, fireCtrlDeliver, cd)
 }
 
 // Message is one fabric-level transfer (the realization of one work
@@ -240,7 +268,15 @@ type Flow struct {
 	src *Port
 	dst *Port
 
-	queue  []*flowMsg
+	// queue[head:] are the messages not yet fully injected. Dequeuing
+	// advances head; when the queue drains, both reset so the backing
+	// array is reused instead of reallocated.
+	queue []*flowMsg
+	head  int
+	// free recycles flowMsg structs: a message returns to the list once
+	// its delivery (and ack, if requested) events have fired, so
+	// steady-state Send allocates nothing after warm-up.
+	free   []*flowMsg
 	active bool
 
 	// paceFreeAt is when the flow may inject its next burst (per-QP rate).
@@ -249,11 +285,21 @@ type Flow struct {
 	msgFreeAt sim.Time
 }
 
+// flowMsg is the in-flight state of one message. It doubles as the
+// pre-bound argument of the flow's step/deliver/ack events, so the whole
+// lifetime of a message schedules no closures.
 type flowMsg struct {
+	fl          *Flow
 	msg         Message
 	remaining   int
 	lastArrival sim.Time
+	ackAt       sim.Time
 }
+
+// Typed-event trampolines for the flow pipeline (see sim.AtCall).
+func fireFlowStep(_ sim.Time, arg any)    { arg.(*Flow).step() }
+func fireFlowDeliver(_ sim.Time, arg any) { arg.(*flowMsg).deliver() }
+func fireFlowAck(_ sim.Time, arg any)     { arg.(*flowMsg).ack() }
 
 // NewFlow creates a flow from src to dst. Loopback (src == dst) is allowed.
 func (f *Fabric) NewFlow(src, dst *Port) *Flow {
@@ -273,7 +319,7 @@ func (fl *Flow) Src() *Port { return fl.src }
 func (fl *Flow) Dst() *Port { return fl.dst }
 
 // Queued returns the number of messages not yet fully injected.
-func (fl *Flow) Queued() int { return len(fl.queue) }
+func (fl *Flow) Queued() int { return len(fl.queue) - fl.head }
 
 // Send enqueues a message on the flow. Zero-byte messages still traverse
 // the wire (headers move). Negative sizes panic.
@@ -283,11 +329,27 @@ func (fl *Flow) Send(m Message) {
 	}
 	fl.src.msgsSent++
 	fl.src.bytesSent += int64(m.Bytes)
-	fl.queue = append(fl.queue, &flowMsg{msg: m, remaining: m.Bytes})
+	var fm *flowMsg
+	if n := len(fl.free); n > 0 {
+		fm = fl.free[n-1]
+		fl.free[n-1] = nil
+		fl.free = fl.free[:n-1]
+	} else {
+		fm = &flowMsg{fl: fl}
+	}
+	fm.msg, fm.remaining, fm.lastArrival = m, m.Bytes, 0
+	fl.queue = append(fl.queue, fm)
 	if !fl.active {
 		fl.active = true
 		fl.startHead()
 	}
+}
+
+// release returns a flowMsg whose events have all fired to the free list,
+// dropping callback references so captured state can be collected.
+func (fl *Flow) release(fm *flowMsg) {
+	fm.msg = Message{}
+	fl.free = append(fl.free, fm)
 }
 
 // startHead begins WR processing for the message at the head of the queue.
@@ -298,14 +360,14 @@ func (fl *Flow) startHead() {
 		start = fl.msgFreeAt
 	}
 	proc := fl.fab.cfg.WRProcess
-	if fl.queue[0].msg.Inline {
+	if fl.queue[fl.head].msg.Inline {
 		proc = fl.fab.cfg.InlineWRProcess
 	}
 	injectAt := start.Add(proc)
 	if fl.paceFreeAt > injectAt {
 		injectAt = fl.paceFreeAt
 	}
-	e.At(injectAt, fl.step)
+	e.AtCall(injectAt, fireFlowStep, fl)
 }
 
 // step injects one burst of the head message, then schedules the next
@@ -313,7 +375,7 @@ func (fl *Flow) startHead() {
 func (fl *Flow) step() {
 	e := fl.fab.eng
 	cfg := fl.fab.cfg
-	fm := fl.queue[0]
+	fm := fl.queue[fl.head]
 
 	// Zero-byte messages occupy the link for their header only.
 	burst := fm.remaining
@@ -351,7 +413,7 @@ func (fl *Flow) step() {
 
 	fm.remaining -= burst
 	if fm.remaining > 0 {
-		e.At(fl.paceFreeAt, fl.step)
+		e.AtCall(fl.paceFreeAt, fireFlowStep, fl)
 		return
 	}
 
@@ -359,31 +421,49 @@ func (fl *Flow) step() {
 	fl.finish(fm, egressEnd)
 }
 
-// finish schedules delivery/ack callbacks and advances to the next message.
+// finish schedules delivery/ack events and advances to the next message.
+// The flowMsg itself is the events' pre-bound argument; it returns to the
+// free list once the last of them has fired (the ack when one is
+// requested, otherwise the delivery — the delivery event is scheduled
+// first, so with a zero AckLatency the FIFO seq tiebreak still runs it
+// before the ack).
 func (fl *Flow) finish(fm *flowMsg, egressEnd sim.Time) {
 	e := fl.fab.eng
 	cfg := fl.fab.cfg
 	fl.msgFreeAt = egressEnd.Add(cfg.MsgGap)
 
-	dst, bytes := fl.dst, fm.msg.Bytes
 	arrival := fm.lastArrival
-	if deliver := fm.msg.OnDeliver; deliver != nil {
-		e.At(arrival, func() {
-			dst.bytesReceived += int64(bytes)
-			deliver(arrival)
-		})
-	} else {
-		e.At(arrival, func() { dst.bytesReceived += int64(bytes) })
-	}
-	if ack := fm.msg.OnAck; ack != nil {
-		ackAt := arrival.Add(cfg.AckLatency)
-		e.At(ackAt, func() { ack(ackAt) })
+	e.AtCall(arrival, fireFlowDeliver, fm)
+	if fm.msg.OnAck != nil {
+		fm.ackAt = arrival.Add(cfg.AckLatency)
+		e.AtCall(fm.ackAt, fireFlowAck, fm)
 	}
 
-	fl.queue = fl.queue[1:]
-	if len(fl.queue) == 0 {
+	fl.queue[fl.head] = nil
+	fl.head++
+	if fl.head == len(fl.queue) {
+		fl.queue = fl.queue[:0]
+		fl.head = 0
 		fl.active = false
 		return
 	}
 	fl.startHead()
+}
+
+// deliver runs at the instant the last byte is placed at the destination.
+func (fm *flowMsg) deliver() {
+	fm.fl.dst.bytesReceived += int64(fm.msg.Bytes)
+	if fn := fm.msg.OnDeliver; fn != nil {
+		fn(fm.lastArrival)
+	}
+	if fm.msg.OnAck == nil {
+		fm.fl.release(fm)
+	}
+}
+
+// ack runs when the sender's hardware completion would be generated.
+func (fm *flowMsg) ack() {
+	fn, at := fm.msg.OnAck, fm.ackAt
+	fm.fl.release(fm)
+	fn(at)
 }

@@ -93,6 +93,108 @@ func TestZeroByteMessageMoves(t *testing.T) {
 	}
 }
 
+func TestZeroByteInlineMessage(t *testing.T) {
+	// A zero-byte inline send still serializes one header packet, but the
+	// NIC charges InlineWRProcess (payload rides the doorbell write) instead
+	// of the WQE-fetch cost WRProcess.
+	e, f := testFabric(t)
+	cfg := f.Config()
+	a, b := f.NewPort("a"), f.NewPort("b")
+	fl := f.NewFlow(a, b)
+	var deliveredAt, ackAt sim.Time
+	fl.Send(Message{
+		Bytes:     0,
+		Inline:    true,
+		OnDeliver: func(at sim.Time) { deliveredAt = at },
+		OnAck:     func(at sim.Time) { ackAt = at },
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	headerBytes := loggp.Packets(0, cfg.MTU) * cfg.PacketHeader
+	want := sim.Time(0).
+		Add(cfg.InlineWRProcess).
+		Add(time.Duration(float64(headerBytes) * cfg.LinkByteTime)).
+		Add(cfg.WireLatency)
+	if deliveredAt != want {
+		t.Errorf("inline zero-byte delivered at %v, want %v", deliveredAt, want)
+	}
+	if ackAt != want.Add(cfg.AckLatency) {
+		t.Errorf("ack at %v, want %v", ackAt, want.Add(cfg.AckLatency))
+	}
+	if b.BytesReceived() != 0 {
+		t.Errorf("receiver counted %d payload bytes, want 0", b.BytesReceived())
+	}
+	if a.MessagesSent() != 1 {
+		t.Errorf("sender counted %d messages, want 1", a.MessagesSent())
+	}
+}
+
+func TestInlineSkipsWRProcess(t *testing.T) {
+	// Same payload, inline vs not: delivery times must differ by exactly
+	// WRProcess - InlineWRProcess.
+	deliverAt := func(inline bool) sim.Time {
+		e, f := testFabric(t)
+		fl := f.NewFlow(f.NewPort("a"), f.NewPort("b"))
+		var at sim.Time
+		fl.Send(Message{Bytes: 64, Inline: inline, OnDeliver: func(a sim.Time) { at = a }})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	cfg := DefaultConfig()
+	plain, inline := deliverAt(false), deliverAt(true)
+	if got, want := plain.Sub(inline), cfg.WRProcess-cfg.InlineWRProcess; got != want {
+		t.Errorf("inline saves %v, want %v", got, want)
+	}
+}
+
+// TestFlowSteadyStateZeroAllocs is the allocation regression gate on the
+// fabric hot path: once the event and flowMsg free lists are warm, a full
+// message lifetime (send, multi-burst injection, delivery, ack) allocates
+// nothing.
+func TestFlowSteadyStateZeroAllocs(t *testing.T) {
+	e, f := testFabric(t)
+	a, b := f.NewPort("a"), f.NewPort("b")
+	fl := f.NewFlow(a, b)
+	delivered, acked := 0, 0
+	onDeliver := func(sim.Time) { delivered++ }
+	onAck := func(sim.Time) { acked++ }
+	round := func() {
+		// 200 KiB spans multiple bursts, exercising step rescheduling.
+		fl.Send(Message{Bytes: 200 << 10, OnDeliver: onDeliver, OnAck: onAck})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ { // warm the free lists
+		round()
+	}
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Errorf("steady-state message costs %.1f allocs, want 0", allocs)
+	}
+	if delivered == 0 || acked != delivered {
+		t.Fatalf("delivered %d, acked %d", delivered, acked)
+	}
+}
+
+// BenchmarkFlowMessage measures one full message lifetime on a warm flow.
+func BenchmarkFlowMessage(b *testing.B) {
+	e := sim.NewEngine()
+	f := New(e, DefaultConfig())
+	fl := f.NewFlow(f.NewPort("a"), f.NewPort("b"))
+	onAck := func(sim.Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Send(Message{Bytes: 4096, OnAck: onAck})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestNegativeSizePanics(t *testing.T) {
 	_, f := testFabric(t)
 	a, b := f.NewPort("a"), f.NewPort("b")

@@ -85,30 +85,51 @@ type WC struct {
 // CQ is a completion queue. Completions beyond the queue's depth are an
 // overrun: they are dropped and the overrun flag latches, as a CQ overrun
 // on hardware is unrecoverable.
+//
+// Completion delivery is callback-native and batched: push appends the WC
+// and arms a single notification event at the current virtual instant, so
+// a burst of same-instant completions wakes waiters (and fires the notify
+// callback) exactly once rather than per WC — the interrupt-coalescing
+// behaviour of a real completion channel.
 type CQ struct {
-	eng     *sim.Engine
-	depth   int
-	queue   []WC
-	overrun bool
-	cond    *sim.Cond
-	notify  func()
+	eng   *sim.Engine
+	depth int
+	// queue[head:] are the completions waiting to be polled; Poll advances
+	// head and the backing array is reused once drained.
+	queue         []WC
+	head          int
+	overrun       bool
+	cond          *sim.Cond
+	notify        func()
+	notifyPending bool
 }
 
-// SetNotify installs a callback invoked whenever a completion is added —
-// the equivalent of arming a completion channel with ibv_req_notify_cq.
-// The callback runs at event context and must not block.
+// SetNotify installs a callback invoked when completions are added — the
+// equivalent of arming a completion channel with ibv_req_notify_cq. The
+// callback runs at event context and must not block; same-instant
+// completions are coalesced into one invocation.
 func (cq *CQ) SetNotify(fn func()) { cq.notify = fn }
+
+// fireCQNotify is the coalesced per-instant notification event.
+func fireCQNotify(_ sim.Time, arg any) {
+	cq := arg.(*CQ)
+	cq.notifyPending = false
+	cq.cond.Broadcast()
+	if cq.notify != nil {
+		cq.notify()
+	}
+}
 
 // push appends a completion, latching overrun when the queue is full.
 func (cq *CQ) push(wc WC) {
-	if len(cq.queue) >= cq.depth {
+	if cq.Len() >= cq.depth {
 		cq.overrun = true
 		return
 	}
 	cq.queue = append(cq.queue, wc)
-	cq.cond.Broadcast()
-	if cq.notify != nil {
-		cq.notify()
+	if !cq.notifyPending {
+		cq.notifyPending = true
+		cq.eng.AtCall(cq.eng.Now(), fireCQNotify, cq)
 	}
 }
 
@@ -117,16 +138,17 @@ func (cq *CQ) push(wc WC) {
 // model CPU cost per completion (the MPI progress engine) charge it
 // themselves.
 func (cq *CQ) Poll(dst []WC) int {
-	n := copy(dst, cq.queue)
-	cq.queue = cq.queue[n:]
-	if len(cq.queue) == 0 {
-		cq.queue = nil
+	n := copy(dst, cq.queue[cq.head:])
+	cq.head += n
+	if cq.head == len(cq.queue) {
+		cq.queue = cq.queue[:0]
+		cq.head = 0
 	}
 	return n
 }
 
 // Len reports the number of completions waiting to be polled.
-func (cq *CQ) Len() int { return len(cq.queue) }
+func (cq *CQ) Len() int { return len(cq.queue) - cq.head }
 
 // Overrun reports whether a completion was ever dropped for lack of space.
 func (cq *CQ) Overrun() bool { return cq.overrun }
@@ -135,7 +157,7 @@ func (cq *CQ) Overrun() bool { return cq.overrun }
 // It is the simulation's stand-in for blocking on a completion channel;
 // polling loops use it to avoid spinning in virtual time.
 func (cq *CQ) WaitNotEmpty(p *sim.Proc) {
-	for len(cq.queue) == 0 {
+	for cq.Len() == 0 {
 		cq.cond.Wait(p)
 	}
 }
@@ -143,9 +165,9 @@ func (cq *CQ) WaitNotEmpty(p *sim.Proc) {
 // WaitNotEmptyTimeout parks the proc until a completion arrives or d
 // elapses, reporting true if a completion is available.
 func (cq *CQ) WaitNotEmptyTimeout(p *sim.Proc, d sim.Time) bool {
-	if len(cq.queue) > 0 {
+	if cq.Len() > 0 {
 		return true
 	}
 	cq.cond.WaitTimeout(p, d.Duration())
-	return len(cq.queue) > 0
+	return cq.Len() > 0
 }

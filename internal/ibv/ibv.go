@@ -62,6 +62,11 @@ type HCA struct {
 	nextKey  uint32
 	nextQPN  uint32
 	mrs      map[uint32]*MR // by rkey: the NIC-side table RDMA lookups use
+	// lastRKey/lastMR cache the most recent successful lookup: a flow's
+	// transport partitions all target one remote MR, so rkeys repeat
+	// back-to-back and the map probe is skipped on the RDMA hot path.
+	lastRKey uint32
+	lastMR   *MR
 }
 
 // NewHCA creates an adapter with its own fabric port.
@@ -108,8 +113,16 @@ func (c *Context) CreateCQ(depth int) *CQ {
 }
 
 // lookupMR resolves a remote key on this adapter (the NIC-side RDMA path).
+// A one-entry last-hit cache fronts the map; deregistration invalidates it
+// (see MR.Dereg).
 func (h *HCA) lookupMR(rkey uint32) (*MR, bool) {
+	if h.lastMR != nil && h.lastRKey == rkey {
+		return h.lastMR, true
+	}
 	mr, ok := h.mrs[rkey]
+	if ok {
+		h.lastRKey, h.lastMR = rkey, mr
+	}
 	return mr, ok
 }
 

@@ -55,7 +55,11 @@ func (mr *MR) Dereg() error {
 	}
 	mr.valid = false
 	delete(mr.pd.mrs, mr.lkey)
-	delete(mr.pd.ctx.hca.mrs, mr.rkey)
+	h := mr.pd.ctx.hca
+	delete(h.mrs, mr.rkey)
+	if h.lastMR == mr {
+		h.lastMR = nil
+	}
 	return nil
 }
 

@@ -120,13 +120,21 @@ const (
 	defaultMaxInline      = 220
 )
 
-// sendCtx tracks one posted send WR through the fabric.
+// sendCtx tracks one posted send WR through the fabric. Contexts are
+// recycled per QP (see QP.takeCtx/releaseCtx): the payload buffer and the
+// deliver/ack callbacks bound to the context survive recycling, so a warm
+// QP posts WRs without allocating.
 type sendCtx struct {
+	qp      *QP
 	wr      SendWR
 	payload []byte
 	// readBytes is the request length for RDMA reads.
 	readBytes int
 	status    Status
+	// deliverFn/ackFn are the fabric callbacks for the common (write/send)
+	// path, built once per context and reused across recycles.
+	deliverFn func(sim.Time)
+	ackFn     func(sim.Time)
 }
 
 // QP is a reliable-connection queue pair.
@@ -145,6 +153,33 @@ type QP struct {
 	sqLen    int
 	inFlight int
 	waitq    []*sendCtx
+	// ctxFree recycles sendCtx structs once their WR is fully acked.
+	ctxFree []*sendCtx
+}
+
+// takeCtx pops a recycled send context or builds a fresh one.
+func (qp *QP) takeCtx() *sendCtx {
+	if n := len(qp.ctxFree); n > 0 {
+		ctx := qp.ctxFree[n-1]
+		qp.ctxFree[n-1] = nil
+		qp.ctxFree = qp.ctxFree[:n-1]
+		return ctx
+	}
+	ctx := &sendCtx{qp: qp}
+	ctx.deliverFn = func(at sim.Time) { ctx.qp.deliver(ctx, at) }
+	ctx.ackFn = func(sim.Time) { ctx.qp.acked(ctx) }
+	return ctx
+}
+
+// releaseCtx returns a context whose completion has been pushed to the
+// free list. The payload backing array is kept for reuse; the WR is
+// cleared so gather-list references can be collected.
+func (qp *QP) releaseCtx(ctx *sendCtx) {
+	ctx.wr = SendWR{}
+	ctx.payload = ctx.payload[:0]
+	ctx.readBytes = 0
+	ctx.status = StatusSuccess
+	qp.ctxFree = append(qp.ctxFree, ctx)
 }
 
 // CreateQP creates a queue pair in the RESET state.
@@ -309,25 +344,29 @@ func (qp *QP) PostSend(wr SendWR) error {
 	if wr.Inline && total > qp.cfg.MaxInline {
 		return ErrInlineTooLarge
 	}
-	var payload []byte
+	ctx := qp.takeCtx()
 	if wr.Opcode == OpRDMARead {
 		// Validate the local scatter list now; data arrives later.
 		for _, sge := range wr.SGList {
 			if _, err := qp.pd.resolveSGE(sge); err != nil {
+				qp.releaseCtx(ctx)
 				return err
 			}
 		}
+		ctx.payload = ctx.payload[:0]
 	} else {
-		payload = make([]byte, 0, total)
+		payload := ctx.payload[:0]
 		for _, sge := range wr.SGList {
 			b, err := qp.pd.resolveSGE(sge)
 			if err != nil {
+				qp.releaseCtx(ctx)
 				return err
 			}
 			payload = append(payload, b...)
 		}
+		ctx.payload = payload
 	}
-	ctx := &sendCtx{wr: wr, payload: payload, readBytes: total, status: StatusSuccess}
+	ctx.wr, ctx.readBytes, ctx.status = wr, total, StatusSuccess
 	qp.sqLen++
 	if qp.inFlight < qp.cfg.MaxOutstanding {
 		qp.dispatch(ctx)
@@ -367,11 +406,13 @@ func (qp *QP) dispatch(ctx *sendCtx) {
 		})
 		return
 	}
+	// The context's pre-bound callbacks avoid two closure allocations per
+	// posted WR on the write/send fast path.
 	qp.flow.Send(fabric.Message{
 		Bytes:     len(ctx.payload),
 		Inline:    ctx.wr.Inline,
-		OnDeliver: func(at sim.Time) { qp.deliver(ctx, at) },
-		OnAck:     func(at sim.Time) { qp.acked(ctx) },
+		OnDeliver: ctx.deliverFn,
+		OnAck:     ctx.ackFn,
 	})
 }
 
@@ -522,6 +563,7 @@ func (qp *QP) acked(ctx *sendCtx) {
 			QPN:    qp.qpn,
 		})
 		qp.toError()
+		qp.releaseCtx(ctx)
 		return
 	}
 	if ctx.wr.Signaled {
@@ -533,6 +575,7 @@ func (qp *QP) acked(ctx *sendCtx) {
 			QPN:     qp.qpn,
 		})
 	}
+	qp.releaseCtx(ctx)
 	// Refill the in-flight window from the wait queue.
 	for qp.inFlight < qp.cfg.MaxOutstanding && len(qp.waitq) > 0 {
 		next := qp.waitq[0]

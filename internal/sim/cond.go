@@ -27,8 +27,15 @@ type condWaiter struct {
 func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 
 // Wait parks the proc until Signal or Broadcast wakes it.
+//
+// The wait record is embedded in the Proc rather than allocated per call:
+// a proc waits on at most one cond at a time, and a woken proc's record is
+// always removed from the wait list before the proc is dispatched (Signal
+// pops it, Broadcast empties the list, a timeout removes it), so reuse
+// across waits is safe and parking is allocation-free.
 func (c *Cond) Wait(p *Proc) {
-	w := &condWaiter{p: p}
+	w := &p.waiter
+	w.done, w.timedOut = false, false
 	c.waiters = append(c.waiters, w)
 	p.park("waiting on cond")
 }
@@ -36,7 +43,8 @@ func (c *Cond) Wait(p *Proc) {
 // WaitTimeout parks the proc until it is signaled or d elapses. It reports
 // true if the proc was signaled and false on timeout.
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
-	w := &condWaiter{p: p}
+	w := &p.waiter
+	w.done, w.timedOut = false, false
 	c.waiters = append(c.waiters, w)
 	timer := c.e.AfterFunc(d, func() {
 		if w.done {
@@ -62,7 +70,7 @@ func (c *Cond) Signal() {
 			continue
 		}
 		w.done = true
-		c.e.schedule(c.e.now, w.p.dispatchFn)
+		c.e.scheduleCall(c.e.now, fireDispatch, w.p)
 		return
 	}
 }
@@ -76,7 +84,7 @@ func (c *Cond) Broadcast() {
 			continue
 		}
 		w.done = true
-		c.e.schedule(c.e.now, w.p.dispatchFn)
+		c.e.scheduleCall(c.e.now, fireDispatch, w.p)
 	}
 }
 

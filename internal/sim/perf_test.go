@@ -72,6 +72,122 @@ func TestTimerStopAfterRecycle(t *testing.T) {
 	}
 }
 
+// TestAtCallTypedEvents covers the typed-event fast path: AtCall/AfterCall
+// fire the shared top-level callback with the event's timestamp and the
+// pre-bound argument, interleaved FIFO with closure events at equal times.
+func TestAtCallTypedEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var firedAt Time
+	fire := func(at Time, arg any) {
+		firedAt = at
+		order = append(order, arg.(string))
+	}
+	e.AtCall(Time(100), fire, "typed-100")
+	e.At(Time(100), func() { order = append(order, "closure-100") })
+	e.AtCall(Time(100), fire, "typed-100b")
+	e.AfterCall(-time.Second, fire, "typed-now") // negative d clamps to now
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"typed-now", "typed-100", "closure-100", "typed-100b"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v (same-time events must run in FIFO seq order)", order, want)
+		}
+	}
+	if firedAt != Time(100) {
+		t.Errorf("last typed event saw now=%v, want 100", firedAt)
+	}
+}
+
+// TestPendingCounter checks the O(1) live-event counter against schedule,
+// cancel, double-cancel, and drain — including that a cancelled event's
+// later heap pop does not decrement a second time.
+func TestPendingCounter(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatalf("new engine Pending() = %d, want 0", e.Pending())
+	}
+	for i := 0; i < 3; i++ {
+		e.After(time.Microsecond, func() {})
+	}
+	e.AtCall(Time(5), func(Time, any) {}, nil)
+	tm := e.AfterFunc(time.Microsecond, func() {})
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d after scheduling 5, want 5", e.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("Pending() = %d after cancel, want 4", e.Pending())
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported true")
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("Pending() = %d after double cancel, want 4 (double decrement)", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestTimerStopRecycledTypedEvent: a fired timer's event struct is recycled
+// into a typed (AtCall) event, which has no Timer of its own. The stale
+// timer's Stop must see the seq mismatch, refuse to cancel, and leave the
+// live-event counter alone.
+func TestTimerStopRecycledTypedEvent(t *testing.T) {
+	e := NewEngine()
+	tm := e.AfterFunc(time.Microsecond, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	e.AtCall(e.Now().Add(1), func(_ Time, arg any) { *(arg.(*bool)) = true }, &fired)
+	if tm.ev.fire == nil {
+		t.Log("free list did not hand the timer's struct to the typed event; seq check still applies")
+	}
+	if tm.Stop() {
+		t.Error("Stop on a fired timer reported true")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after stale Stop, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("stale Stop cancelled the recycled typed event")
+	}
+}
+
+// TestAtCallSteadyStateZeroAllocs is the allocation regression gate on the
+// typed-event path: with a warm free list, scheduling and firing a
+// pre-bound event allocates nothing.
+func TestAtCallSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	fire := func(_ Time, arg any) { *(arg.(*int))++ }
+	round := func() {
+		e.AtCall(e.Now().Add(1), fire, &n)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // warm the free list
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Errorf("typed event schedule+fire allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // TestTotalEventsAccumulates checks the process-wide counter moves when an
 // engine run completes.
 func TestTotalEventsAccumulates(t *testing.T) {

@@ -21,13 +21,21 @@ type Proc struct {
 	// serves both directions, halving the channels allocated per proc and
 	// the sudog traffic of the old separate resume/yield pair.
 	handoff chan struct{}
-	// dispatchFn caches the p.dispatch method value so rescheduling the
-	// proc (Sleep, Yield, cond waits) does not allocate a closure per park.
-	dispatchFn func()
+	// waiter is the proc's condition-variable wait record. A parked proc
+	// waits on at most one Cond at a time, so embedding the record here
+	// makes Cond.Wait allocation-free (see Cond.Wait for the lifetime
+	// invariant).
+	waiter     condWaiter
 	done       bool
 	daemon     bool
 	parkReason string
 }
+
+// fireDispatch is the typed-event callback that resumes a parked proc. All
+// proc scheduling (Spawn, Sleep, cond wakeups, resource handoff) goes
+// through this one top-level function with the proc as the pre-bound
+// argument, so rescheduling a proc never allocates.
+func fireDispatch(_ Time, arg any) { arg.(*Proc).dispatch() }
 
 // errProcExit is the sentinel panic value used by Exit for early return.
 type procExit struct{}
@@ -51,10 +59,10 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:    name,
 		handoff: make(chan struct{}),
 	}
-	p.dispatchFn = p.dispatch
+	p.waiter.p = p
 	e.live[p] = struct{}{}
 	go p.body(fn)
-	e.schedule(e.now, p.dispatchFn)
+	e.scheduleCall(e.now, fireDispatch, p)
 	return p
 }
 
@@ -122,7 +130,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.schedule(p.e.now.Add(d), p.dispatchFn)
+	p.e.scheduleCall(p.e.now.Add(d), fireDispatch, p)
 	p.park("sleeping")
 }
 

@@ -56,7 +56,7 @@ func (r *Resource) Release() {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
 		// Occupancy is unchanged: the server passes to next.
-		r.e.schedule(r.e.now, next.dispatchFn)
+		r.e.scheduleCall(r.e.now, fireDispatch, next)
 		return
 	}
 	if r.inUse == 0 {

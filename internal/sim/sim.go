@@ -43,11 +43,16 @@ func (t Time) Micros() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. It carries either a plain closure
+// (fn) or a typed pre-bound callback (fire + arg): the typed form lets
+// steady-state schedulers reuse one top-level function with a receiver
+// argument instead of allocating a fresh closure per event.
 type event struct {
 	at        Time
 	seq       uint64 // tiebreaker: FIFO among same-time events
 	fn        func()
+	fire      func(Time, any)
+	arg       any
 	cancelled bool
 	index     int // heap index, -1 when popped
 }
@@ -99,6 +104,7 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	free    []*event // recycled event structs (see schedule/recycle)
+	pending int      // live (scheduled, non-cancelled) events — O(1) Pending
 	live    map[*Proc]struct{}
 	running *Proc
 	err     error
@@ -147,26 +153,20 @@ func (e *Engine) flushStats() {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of scheduled (non-cancelled) events. It is
+// O(1): the engine maintains a live-event counter instead of scanning the
+// heap.
+func (e *Engine) Pending() int { return e.pending }
 
-// schedule enqueues fn to run at time at. Scheduling in the past is an
-// engine-usage bug and panics.
+// alloc pops a recycled event struct (or allocates one) and enqueues it at
+// time at. Scheduling in the past is an engine-usage bug and panics.
 //
 // Event structs come from a per-engine free list: once an event has fired
 // (or been popped cancelled) it is recycled, so steady-state simulation
 // does one event allocation per *concurrent* event rather than one per
 // scheduled event. The seq field doubles as an identity generation —
 // Timer.Stop compares it to detect recycled events.
-func (e *Engine) schedule(at Time, fn func()) *event {
+func (e *Engine) alloc(at Time) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -178,16 +178,33 @@ func (e *Engine) schedule(at Time, fn func()) *event {
 	} else {
 		ev = new(event)
 	}
-	ev.at, ev.seq, ev.fn, ev.cancelled = at, e.seq, fn, false
+	ev.at, ev.seq, ev.cancelled = at, e.seq, false
 	e.seq++
+	e.pending++
 	heap.Push(&e.events, ev)
 	return ev
 }
 
-// recycle returns a popped event to the free list. The fn reference is
-// dropped so captured state can be collected.
+// schedule enqueues the closure fn to run at time at (the cold-path API).
+func (e *Engine) schedule(at Time, fn func()) *event {
+	ev := e.alloc(at)
+	ev.fn = fn
+	return ev
+}
+
+// scheduleCall enqueues the typed callback fire(now, arg) to run at time
+// at. Because fire is a shared top-level function and arg a pre-bound
+// pointer, steady-state scheduling through this path allocates nothing.
+func (e *Engine) scheduleCall(at Time, fire func(Time, any), arg any) *event {
+	ev := e.alloc(at)
+	ev.fire, ev.arg = fire, arg
+	return ev
+}
+
+// recycle returns a popped event to the free list. Callback and argument
+// references are dropped so captured state can be collected.
 func (e *Engine) recycle(ev *event) {
-	ev.fn = nil
+	ev.fn, ev.fire, ev.arg = nil, nil, nil
 	e.free = append(e.free, ev)
 }
 
@@ -200,6 +217,24 @@ func (e *Engine) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.schedule(e.now.Add(d), fn)
+}
+
+// AtCall schedules the typed callback fire(now, arg) at the absolute
+// virtual time at. It is the allocation-free variant of At: fire should be
+// a top-level function and arg the pre-bound receiver (a pointer, so the
+// any-boxing does not allocate), letting hot paths schedule without
+// constructing a closure per event.
+func (e *Engine) AtCall(at Time, fire func(Time, any), arg any) {
+	e.scheduleCall(at, fire, arg)
+}
+
+// AfterCall schedules fire(now, arg) to run d from now, the
+// allocation-free variant of After. Negative d is treated as zero.
+func (e *Engine) AfterCall(d time.Duration, fire func(Time, any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.scheduleCall(e.now.Add(d), fire, arg)
 }
 
 // Timer is a cancellable scheduled callback, analogous to time.Timer.
@@ -229,6 +264,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.ev.cancelled = true
+	t.e.pending--
 	return true
 }
 
@@ -241,13 +277,19 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
+			// Pending was already decremented when the event was cancelled.
 			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		fn := ev.fn
+		e.pending--
+		fn, fire, arg := ev.fn, ev.fire, ev.arg
 		e.recycle(ev)
-		fn()
+		if fire != nil {
+			fire(e.now, arg)
+		} else {
+			fn()
+		}
 		e.stepped++
 		return true
 	}

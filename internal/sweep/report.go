@@ -38,6 +38,10 @@ type BenchReport struct {
 	// parallel pass (runtime.MemStats.Mallocs delta over events) — the
 	// metric the sim event free list is judged on.
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Warning flags methodologically meaningless comparisons — set when
+	// the parallel pass effectively ran serial (one worker or one core),
+	// in which case Speedup measures nothing.
+	Warning string `json:"warning,omitempty"`
 }
 
 // Measurement captures the counters needed around one benchmark pass.
@@ -82,7 +86,69 @@ func NewReport(tool string, workers int, serialSec float64, parSec float64, parE
 	if parEvents > 0 {
 		r.AllocsPerEvent = float64(parAllocs) / float64(parEvents)
 	}
+	switch {
+	case r.Workers == 1:
+		r.Warning = "parallel pass ran with workers=1: speedup is serial-vs-serial and meaningless"
+	case r.GOMAXPROCS == 1:
+		r.Warning = "GOMAXPROCS=1: workers share one core, speedup does not measure parallelism"
+	}
 	return r
+}
+
+// HotpathReport is the machine-readable record of the single-engine event
+// hot path (written as BENCH_hotpath.json by cmd/partbench): a fixed
+// serial workload on one engine at a time, compared against the recorded
+// pre-optimization baseline so the events/sec and allocs/event trajectory
+// is tracked PR over PR.
+type HotpathReport struct {
+	// Tool identifies the producing binary and workload.
+	Tool string `json:"tool"`
+	// Workload names the fixed single-engine workload measured.
+	Workload   string `json:"workload"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Seconds and Events cover the measured pass.
+	Seconds        float64 `json:"seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// BaselineEventsPerSec/BaselineAllocsPerEvent are the pre-optimization
+	// numbers (the PR-1 BENCH_parallel.json record) the current run is
+	// judged against; EventsPerSecRatio is EventsPerSec over the baseline.
+	BaselineEventsPerSec   float64 `json:"baseline_events_per_sec"`
+	BaselineAllocsPerEvent float64 `json:"baseline_allocs_per_event"`
+	EventsPerSecRatio      float64 `json:"events_per_sec_ratio"`
+}
+
+// NewHotpathReport assembles a HotpathReport from one measured pass.
+func NewHotpathReport(tool, workload string, seconds float64, events, allocs uint64, baseEvtSec, baseAllocs float64) HotpathReport {
+	r := HotpathReport{
+		Tool:                   tool,
+		Workload:               workload,
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Seconds:                seconds,
+		Events:                 events,
+		BaselineEventsPerSec:   baseEvtSec,
+		BaselineAllocsPerEvent: baseAllocs,
+	}
+	if seconds > 0 {
+		r.EventsPerSec = float64(events) / seconds
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(allocs) / float64(events)
+	}
+	if baseEvtSec > 0 {
+		r.EventsPerSecRatio = r.EventsPerSec / baseEvtSec
+	}
+	return r
+}
+
+// WriteHotpathFile writes the report as indented JSON to path.
+func WriteHotpathFile(path string, r HotpathReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // WriteReportFile writes the report as indented JSON to path.
