@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-hotpath bench-parallel
+.PHONY: check vet build test race bench bench-hotpath bench-parallel bench-compare
 
 check: vet build test race
 
@@ -30,13 +30,22 @@ race:
 # quick mode.
 bench:
 	$(GO) test -run SteadyStateZeroAllocs -v ./internal/sim/ ./internal/fabric/
-	$(GO) test -bench 'BenchmarkEngineEventChurn|BenchmarkProcParkResume' -benchmem -run xxx ./internal/sim/
+	$(GO) test -bench 'BenchmarkEngineEventChurn|BenchmarkProcParkResume|BenchmarkScheduleFire|BenchmarkTimerStopStart' -benchmem -run xxx ./internal/sim/
 	$(GO) test -bench . -benchmem -run xxx ./internal/fabric/ ./internal/profiler/
 	$(GO) test -bench . -benchmem -run xxx .
 
 # Regenerate BENCH_hotpath.json: fixed single-engine hot-path workload.
 bench-hotpath:
 	$(GO) run ./cmd/partbench -hotpathjson BENCH_hotpath.json
+
+# Run the hotpath benchmark against a scratch copy of the committed
+# BENCH_hotpath.json: partbench prints the events/sec and allocs/event
+# delta versus the copied record before overwriting it, so the committed
+# file itself is left untouched. Use bench-hotpath to actually re-record.
+bench-compare:
+	@tmp=$$(mktemp); cp BENCH_hotpath.json $$tmp; \
+	$(GO) run ./cmd/partbench -hotpathjson $$tmp; \
+	rm -f $$tmp
 
 # Regenerate BENCH_parallel.json: serial-vs-parallel tuning sweep report.
 bench-parallel:

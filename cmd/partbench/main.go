@@ -120,36 +120,53 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		serialCfg := cfg
-		serialCfg.Jobs = 1
-		serialCfg.Progress = nil
-		m := sweep.StartMeasure()
-		var serialOut strings.Builder
-		if err := runSuite(names, serialCfg, &serialOut, ""); err != nil {
-			fmt.Fprintf(os.Stderr, "partbench: serial pass: %v\n", err)
-			os.Exit(1)
-		}
-		serialSec, _, _ := m.Stop()
-
-		m = sweep.StartMeasure()
+		var report sweep.BenchReport
 		var parallelOut strings.Builder
-		if err := runSuite(names, cfg, &parallelOut, *csvDir); err != nil {
-			fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
-			os.Exit(1)
-		}
-		parSec, parEvents, parAllocs := m.Stop()
+		if sweep.Jobs(cfg.Jobs) == 1 || runtime.GOMAXPROCS(0) == 1 {
+			// One worker or one core: a second pass would time the
+			// identical serial workload again. Run once, record
+			// speedup: null.
+			m := sweep.StartMeasure()
+			if err := runSuite(names, cfg, &parallelOut, *csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+				os.Exit(1)
+			}
+			sec, events, allocs := m.Stop()
+			report = sweep.NewSinglePassReport("partbench "+*exp, cfg.Jobs, sec, events, allocs)
+		} else {
+			serialCfg := cfg
+			serialCfg.Jobs = 1
+			serialCfg.Progress = nil
+			m := sweep.StartMeasure()
+			var serialOut strings.Builder
+			if err := runSuite(names, serialCfg, &serialOut, ""); err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: serial pass: %v\n", err)
+				os.Exit(1)
+			}
+			serialSec, _, _ := m.Stop()
 
-		report := sweep.NewReport("partbench "+*exp, cfg.Jobs,
-			serialSec, parSec, parEvents, parAllocs, parallelOut.String() == serialOut.String())
+			m = sweep.StartMeasure()
+			if err := runSuite(names, cfg, &parallelOut, *csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
+				os.Exit(1)
+			}
+			parSec, parEvents, parAllocs := m.Stop()
+			report = sweep.NewReport("partbench "+*exp, cfg.Jobs,
+				serialSec, parSec, parEvents, parAllocs, parallelOut.String() == serialOut.String())
+		}
 		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
 			os.Exit(1)
 		}
 		os.Stdout.WriteString(parallelOut.String())
+		speedup := "null"
+		if report.Speedup != nil {
+			speedup = fmt.Sprintf("%.2fx", *report.Speedup)
+		}
 		fmt.Fprintf(os.Stderr,
-			"partbench: serial %.2fs, parallel %.2fs on %d workers (%.2fx), %.0f events/sec, %.2f allocs/event, identical=%v\n",
+			"partbench: serial %.2fs, parallel %.2fs on %d workers (%s), %.0f events/sec, %.2f allocs/event, identical=%v\n",
 			report.SerialSeconds, report.ParallelSeconds, report.Workers,
-			report.Speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
+			speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
 		if report.Warning != "" {
 			fmt.Fprintf(os.Stderr, "partbench: warning: %s\n", report.Warning)
 		}
@@ -226,8 +243,18 @@ func runHotpath(path string) error {
 		}
 	}
 	sec, events, allocs := m.Stop()
-	report := sweep.NewHotpathReport("partbench", workload, sec, events, allocs,
+	report := sweep.NewHotpathReport("partbench", workload, sec, events, allocs, m.SchedDelta(),
 		hotpathBaselineEventsPerSec, hotpathBaselineAllocsPerEvent)
+	// Print the delta against the record about to be overwritten (make
+	// bench-compare points path at a scratch copy of the committed file
+	// to get the comparison without clobbering it).
+	if prev, err := sweep.ReadHotpathFile(path); err == nil && prev.EventsPerSec > 0 {
+		fmt.Fprintf(os.Stderr,
+			"partbench: hotpath delta vs %s [%s]: events/sec %+.1f%% (%.0f -> %.0f), allocs/event %+.4f (%.4f -> %.4f)\n",
+			path, prev.Scheduler,
+			100*(report.EventsPerSec/prev.EventsPerSec-1), prev.EventsPerSec, report.EventsPerSec,
+			report.AllocsPerEvent-prev.AllocsPerEvent, prev.AllocsPerEvent, report.AllocsPerEvent)
+	}
 	if err := sweep.WriteHotpathFile(path, report); err != nil {
 		return err
 	}
@@ -235,6 +262,10 @@ func runHotpath(path string) error {
 		"partbench: hotpath %.2fs, %d events, %.0f events/sec (%.2fx baseline), %.3f allocs/event (baseline %.2f)\n",
 		report.Seconds, report.Events, report.EventsPerSec, report.EventsPerSecRatio,
 		report.AllocsPerEvent, report.BaselineAllocsPerEvent)
+	fmt.Fprintf(os.Stderr,
+		"partbench: scheduler %s: %d ring, %d bucket, %d far insertions, max bucket chain %d\n",
+		report.Scheduler, report.SchedRingEvents, report.SchedBucketEvents,
+		report.SchedFarEvents, report.SchedMaxBucketLen)
 	return nil
 }
 

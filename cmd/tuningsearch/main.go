@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -77,38 +78,57 @@ func main() {
 		return buf.String(), nil
 	}
 
-	var serialSec float64
 	if *benchJSON != "" {
-		// Timed serial reference pass over the identical workload.
-		serialCfg := cfg
-		serialCfg.Workers = 1
-		serialCfg.Progress = nil
-		m := sweep.StartMeasure()
-		serialOut, err := render(serialCfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tuningsearch: serial pass: %v\n", err)
-			os.Exit(1)
-		}
-		serialSec, _, _ = m.Stop()
+		var report sweep.BenchReport
+		var parallelOut string
+		if sweep.Jobs(cfg.Workers) == 1 || runtime.GOMAXPROCS(0) == 1 {
+			// One worker or one core: a second pass would time the
+			// identical serial workload again. Run once, record
+			// speedup: null.
+			m := sweep.StartMeasure()
+			var err error
+			parallelOut, err = render(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
+				os.Exit(1)
+			}
+			sec, events, allocs := m.Stop()
+			report = sweep.NewSinglePassReport("tuningsearch", cfg.Workers, sec, events, allocs)
+		} else {
+			// Timed serial reference pass over the identical workload.
+			serialCfg := cfg
+			serialCfg.Workers = 1
+			serialCfg.Progress = nil
+			m := sweep.StartMeasure()
+			serialOut, err := render(serialCfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tuningsearch: serial pass: %v\n", err)
+				os.Exit(1)
+			}
+			serialSec, _, _ := m.Stop()
 
-		m = sweep.StartMeasure()
-		parallelOut, err := render(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
-			os.Exit(1)
+			m = sweep.StartMeasure()
+			parallelOut, err = render(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
+				os.Exit(1)
+			}
+			parSec, parEvents, parAllocs := m.Stop()
+			report = sweep.NewReport("tuningsearch", cfg.Workers,
+				serialSec, parSec, parEvents, parAllocs, parallelOut == serialOut)
 		}
-		parSec, parEvents, parAllocs := m.Stop()
-
-		report := sweep.NewReport("tuningsearch", cfg.Workers,
-			serialSec, parSec, parEvents, parAllocs, parallelOut == serialOut)
 		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
 			fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
 			os.Exit(1)
 		}
+		speedup := "null"
+		if report.Speedup != nil {
+			speedup = fmt.Sprintf("%.2fx", *report.Speedup)
+		}
 		fmt.Fprintf(os.Stderr,
-			"tuningsearch: serial %.2fs, parallel %.2fs on %d workers (%.2fx), %.0f events/sec, %.2f allocs/event, identical=%v\n",
+			"tuningsearch: serial %.2fs, parallel %.2fs on %d workers (%s), %.0f events/sec, %.2f allocs/event, identical=%v\n",
 			report.SerialSeconds, report.ParallelSeconds, report.Workers,
-			report.Speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
+			speedup, report.EventsPerSec, report.AllocsPerEvent, report.Identical)
 		if report.Warning != "" {
 			fmt.Fprintf(os.Stderr, "tuningsearch: warning: %s\n", report.Warning)
 		}

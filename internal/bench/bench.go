@@ -181,32 +181,42 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 			if err != nil {
 				panic(err)
 			}
+			// The group, the per-round jitter draws, and the per-thread
+			// bodies are allocated once and reused every round: spawning
+			// Parts worker procs per iteration is the engine's fork-join
+			// hot path, and rebuilding closures each round would dominate
+			// the benchmark's allocation profile.
+			g := sim.NewGroup(p.Engine())
+			jitters := make([]time.Duration, cfg.Parts)
+			threads := make([]func(tp *sim.Proc), cfg.Parts)
+			for t := 0; t < cfg.Parts; t++ {
+				t := t
+				threads[t] = func(tp *sim.Proc) {
+					defer g.Done()
+					compute := cfg.Compute + jitters[t]
+					if t == laggard {
+						compute += cfg.laggardDelay()
+					}
+					if compute > 0 {
+						r.Compute(tp, compute)
+					}
+					ps.Pready(tp, t)
+					if tp.Now() > lastPready {
+						lastPready = tp.Now()
+					}
+				}
+			}
 			for iter := 0; iter < total; iter++ {
 				r.Barrier(p)
 				roundStart = p.Now()
 				ps.Start(p)
-				g := sim.NewGroup(p.Engine())
 				for t := 0; t < cfg.Parts; t++ {
-					t := t
 					g.Add(1)
-					jitter := time.Duration(0)
+					jitters[t] = 0
 					if jitterSpan > 0 {
-						jitter = time.Duration(jitterRng.Int63n(int64(jitterSpan)))
+						jitters[t] = time.Duration(jitterRng.Int63n(int64(jitterSpan)))
 					}
-					p.Engine().Spawn("sender-thread", func(tp *sim.Proc) {
-						defer g.Done()
-						compute := cfg.Compute + jitter
-						if t == laggard {
-							compute += cfg.laggardDelay()
-						}
-						if compute > 0 {
-							r.Compute(tp, compute)
-						}
-						ps.Pready(tp, t)
-						if tp.Now() > lastPready {
-							lastPready = tp.Now()
-						}
-					})
+					p.Engine().Spawn("sender-thread", threads[t])
 				}
 				g.Wait(p)
 				ps.Wait(p)

@@ -77,6 +77,28 @@ type World struct {
 	cluster *cluster.Cluster
 	ranks   []*Rank
 	costs   SoftwareCosts
+	// envFree recycles control-plane envelopes across the whole job.
+	// Every rank runs on the one engine (serialized), and an envelope is
+	// dead as soon as the receiving handler has unpacked it, so a shared
+	// free list makes SendCtrl allocation-free in steady state.
+	envFree []*ctrlEnvelope
+}
+
+// takeEnv pops a recycled control envelope or allocates a fresh one.
+func (w *World) takeEnv() *ctrlEnvelope {
+	if n := len(w.envFree); n > 0 {
+		env := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		return env
+	}
+	return &ctrlEnvelope{}
+}
+
+// putEnv returns an unpacked envelope to the free list.
+func (w *World) putEnv(env *ctrlEnvelope) {
+	env.kind, env.from, env.data = "", 0, nil
+	w.envFree = append(w.envFree, env)
 }
 
 // NewWorld builds the job and its ranks. It panics on invalid

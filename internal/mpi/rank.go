@@ -125,19 +125,23 @@ func (r *Rank) HandleCtrl(kind string, fn func(from int, data any)) {
 // handler over the fabric control plane.
 func (r *Rank) SendCtrl(dst int, kind string, data any) {
 	dstRank := r.w.ranks[dst]
-	r.node.HCA.Port().SendControl(dstRank.node.HCA.Port(), ctrlEnvelope{kind: kind, from: r.id, data: data})
+	env := r.w.takeEnv()
+	env.kind, env.from, env.data = kind, r.id, data
+	r.node.HCA.Port().SendControl(dstRank.node.HCA.Port(), env)
 }
 
 // onCtrl dispatches an arriving control message. Handlers run at event
 // context (no proc): they must only do bookkeeping and wake waiters.
 func (r *Rank) onCtrl(_ *fabric.Port, payload any) {
-	env := payload.(ctrlEnvelope)
+	env := payload.(*ctrlEnvelope)
 	h, ok := r.ctrlHandlers[env.kind]
 	if !ok {
 		panic(fmt.Sprintf("mpi: rank %d: no handler for control kind %q", r.id, env.kind))
 	}
+	from, data := env.from, env.data
+	r.w.putEnv(env)
 	r.ctrlHandled++
-	h(env.from, env.data)
+	h(from, data)
 	r.activity.Broadcast()
 }
 

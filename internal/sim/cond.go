@@ -13,8 +13,12 @@ import "time"
 //
 // with the condition re-checked after every wakeup.
 type Cond struct {
-	e       *Engine
+	e *Engine
+	// waiters is a head-indexed FIFO: Wait appends, Signal advances head.
+	// When the queue drains, both reset so the backing array is reused
+	// instead of leaking capacity off the front (steady-state zero-alloc).
 	waiters []*condWaiter
+	head    int
 }
 
 type condWaiter struct {
@@ -63,9 +67,14 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
 // Signal wakes the longest-waiting proc, if any. The woken proc runs after
 // already-pending same-time events.
 func (c *Cond) Signal() {
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.head < len(c.waiters) {
+		w := c.waiters[c.head]
+		c.waiters[c.head] = nil
+		c.head++
+		if c.head == len(c.waiters) {
+			c.waiters = c.waiters[:0]
+			c.head = 0
+		}
 		if w.done {
 			continue
 		}
@@ -77,21 +86,23 @@ func (c *Cond) Signal() {
 
 // Broadcast wakes all waiting procs in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	for i := c.head; i < len(c.waiters); i++ {
+		w := c.waiters[i]
+		c.waiters[i] = nil
 		if w.done {
 			continue
 		}
 		w.done = true
 		c.e.scheduleCall(c.e.now, fireDispatch, w.p)
 	}
+	c.waiters = c.waiters[:0]
+	c.head = 0
 }
 
 // Waiters reports how many procs are currently parked on the cond.
 func (c *Cond) Waiters() int {
 	n := 0
-	for _, w := range c.waiters {
+	for _, w := range c.waiters[c.head:] {
 		if !w.done {
 			n++
 		}
@@ -100,9 +111,16 @@ func (c *Cond) Waiters() int {
 }
 
 func (c *Cond) remove(target *condWaiter) {
-	for i, w := range c.waiters {
-		if w == target {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+	for i := c.head; i < len(c.waiters); i++ {
+		if c.waiters[i] == target {
+			copy(c.waiters[i:], c.waiters[i+1:])
+			last := len(c.waiters) - 1
+			c.waiters[last] = nil
+			c.waiters = c.waiters[:last]
+			if c.head == len(c.waiters) {
+				c.waiters = c.waiters[:0]
+				c.head = 0
+			}
 			return
 		}
 	}

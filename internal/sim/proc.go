@@ -53,13 +53,31 @@ func (e *ProcError) Error() string {
 
 // Spawn creates a proc named name running fn, scheduled to start at the
 // current virtual time (after already-pending same-time events).
+//
+// Proc shells (the struct and its handoff channel) are recycled once a
+// proc's body returns, so fork-join workloads that spawn short-lived
+// worker procs per round do not allocate in steady state; only the
+// goroutine itself is started fresh. The returned *Proc is therefore
+// only meaningful until the body returns — callers must not retain it
+// past proc exit (no caller in this codebase does; procs interact with
+// their own *Proc argument).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		e:       e,
-		name:    name,
-		handoff: make(chan struct{}),
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+		p.name = name
+		p.done = false
+		p.daemon = false
+	} else {
+		p = &Proc{
+			e:       e,
+			name:    name,
+			handoff: make(chan struct{}),
+		}
+		p.waiter.p = p
 	}
-	p.waiter.p = p
 	e.live[p] = struct{}{}
 	go p.body(fn)
 	e.scheduleCall(e.now, fireDispatch, p)
@@ -96,6 +114,13 @@ func (p *Proc) dispatch() {
 	p.handoff <- struct{}{}
 	<-p.handoff
 	p.e.running = prev
+	if p.done {
+		// The goroutine's last act before exiting was the handoff send we
+		// just received; the shell is dead and safe to recycle. Every wake
+		// is guarded by a consumed-once flag (cond waiter done, timer seq),
+		// so no stale dispatch event can still reference this proc.
+		p.e.procFree = append(p.e.procFree, p)
+	}
 }
 
 // park returns control to the engine until the proc is dispatched again.

@@ -11,7 +11,11 @@ type Resource struct {
 	e       *Engine
 	servers int
 	inUse   int
-	queue   []*Proc
+	// queue is a head-indexed FIFO: Acquire appends, Release advances head.
+	// When the queue drains, both reset so the backing array is reused
+	// instead of leaking capacity off the front (steady-state zero-alloc).
+	queue []*Proc
+	head  int
 	// peak tracks the maximum simultaneous occupancy, for tests/metrics.
 	peak int
 }
@@ -31,7 +35,7 @@ func (r *Resource) Servers() int { return r.servers }
 func (r *Resource) InUse() int { return r.inUse }
 
 // Queued returns the number of procs waiting for a server.
-func (r *Resource) Queued() int { return len(r.queue) }
+func (r *Resource) Queued() int { return len(r.queue) - r.head }
 
 // Peak returns the maximum simultaneous occupancy observed.
 func (r *Resource) Peak() int { return r.peak }
@@ -52,9 +56,14 @@ func (r *Resource) Acquire(p *Proc) {
 // Release frees a server, handing it directly to the longest-waiting proc
 // if any. It may be called from procs or event callbacks.
 func (r *Resource) Release() {
-	if len(r.queue) > 0 {
-		next := r.queue[0]
-		r.queue = r.queue[1:]
+	if r.head < len(r.queue) {
+		next := r.queue[r.head]
+		r.queue[r.head] = nil
+		r.head++
+		if r.head == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.head = 0
+		}
 		// Occupancy is unchanged: the server passes to next.
 		r.e.scheduleCall(r.e.now, fireDispatch, next)
 		return

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -53,38 +52,39 @@ type event struct {
 	fn        func()
 	fire      func(Time, any)
 	arg       any
+	next      *event // intrusive link: ring / bucket FIFO chains
 	cancelled bool
-	index     int // heap index, -1 when popped
+	queued    bool // in some queue tier; false once popped or recycled
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, seq): time order with FIFO tie-break.
+// It is the single comparison used by all three queue tiers, which is what
+// keeps cross-tier dispatch order identical to a flat priority queue.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+
+// Calendar-queue geometry. The near window is numBuckets ticks of
+// 2^bucketShift nanoseconds each: with 2.048 µs ticks and 256 buckets the
+// window spans ~524 µs, which covers the LogGP o/L/g steps, CQ notify
+// latencies, and flow-burst gaps that dominate steady-state scheduling
+// (all µs-scale), while ms-scale δ-timers and compute sleeps overflow to
+// the far heap and migrate into the window as the clock approaches them.
+const (
+	bucketShift = 11
+	numBuckets  = 256
+	bucketMask  = numBuckets - 1
+)
+
+// tickOf maps a timestamp to its calendar tick.
+func tickOf(t Time) int64 { return int64(t) >> bucketShift }
+
+// SchedulerName identifies the event-queue implementation, recorded in
+// benchmark reports so perf numbers are attributable to the queue design.
+const SchedulerName = "calendar-256x2us+4ary"
 
 // DeadlockError is returned by Run when the event queue drains while
 // non-daemon procs are still parked: nothing can ever wake them.
@@ -99,34 +99,90 @@ func (e *DeadlockError) Error() string {
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
+//
+// The event queue is a three-tier calendar queue specialized to *event
+// (no container/heap, no interface dispatch, no per-push any-boxing):
+//
+//   - ring: a FIFO of events scheduled at exactly Now() — wakeups, yields
+//     and handoffs dispatched from inside a callback bypass ordering
+//     entirely (append-tail/pop-head on an intrusive list, O(1)).
+//   - buckets: a ring of numBuckets per-tick buckets covering the near
+//     window [anchor, anchor+numBuckets) ticks. Each bucket is an
+//     intrusive chain through the events themselves (no per-slot slice
+//     storage, so steady state touches no allocator at all), kept sorted
+//     by (at, seq): dispatch pops the chain head in O(1), and insertion
+//     is an O(1) tail append for the dominant in-order patterns (bursts
+//     of same-instant wakeups, monotone LogGP step trains, refill
+//     migration) with a bounded in-chain walk otherwise.
+//   - far: a monomorphic 4-ary min-heap ordered by (at, seq) for events
+//     beyond the window; they migrate into the buckets in batches when
+//     the window drains and re-anchors (refill).
+//
+// Cancellation is lazy: Timer.Stop marks the event and the queue skips and
+// recycles it whenever a scan encounters it, so Stop is O(1) in all tiers.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
-	free    []*event // recycled event structs (see schedule/recycle)
+	free    []*event // recycled event structs (see alloc/recycle)
 	pending int      // live (scheduled, non-cancelled) events — O(1) Pending
 	live    map[*Proc]struct{}
 	running *Proc
 	err     error
+	// procFree recycles Proc shells (struct + handoff channel) of exited
+	// procs; each Spawn still starts a fresh goroutine. See Spawn.
+	procFree []*Proc
+
+	// Tier 0: same-instant dispatch ring (all entries have at == now).
+	ringH *event
+	ringT *event
+
+	// Tier 1: near-window calendar buckets (FIFO chain head/tail plus an
+	// occupancy count per slot). anchor is the first tick of the window;
+	// cursor is the next tick to drain (slots for ticks in [anchor,
+	// cursor) are empty). nbucket counts entries across all buckets,
+	// including cancelled ones awaiting lazy removal.
+	buckets [numBuckets]*event
+	tails   [numBuckets]*event
+	blen    [numBuckets]int32
+	nbucket int
+	anchor  int64
+	cursor  int64
+	// nowClean records that the current instant's bucket holds no event
+	// at exactly now, so ring pops can skip the bucket probe until the
+	// clock advances (inserts at now always go to the ring, so the flag
+	// stays valid while now stands still).
+	nowClean bool
+
+	// Tier 2: far-future monomorphic 4-ary min-heap.
+	far []*event
+
 	// stepped counts events executed by this engine; the delta since
 	// flushedAt is folded into the process-wide totalEvents counter when
 	// Run/RunUntil return, so the hot loop stays free of atomic
 	// operations.
 	stepped   uint64
 	flushedAt uint64
+
+	// Scheduler placement counters (see SchedStats): how many insertions
+	// hit each tier and the largest bucket ever observed. Flushed into
+	// the process-wide totals alongside stepped.
+	statRing      uint64
+	statBucket    uint64
+	statFar       uint64
+	statMaxBucket int
+	flushedSched  SchedStats
 }
 
-// initialHeapCap pre-sizes the event heap and free list: typical
-// simulations here keep hundreds of in-flight events (one per parked
-// proc plus wire/timer events), so starting at a real capacity avoids
-// the early growth reallocations on every run.
-const initialHeapCap = 256
+// initialFarCap pre-sizes the far heap and free list growth: typical
+// simulations keep hundreds of in-flight events, so starting at a real
+// capacity avoids the early growth reallocations on every run.
+const initialFarCap = 64
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
 	return &Engine{
-		live:   make(map[*Proc]struct{}),
-		events: make(eventHeap, 0, initialHeapCap),
+		live: make(map[*Proc]struct{}),
+		far:  make([]*event, 0, initialFarCap),
 	}
 }
 
@@ -134,19 +190,74 @@ func NewEngine() *Engine {
 // process (parallel sweeps run many engines at once).
 var totalEvents atomic.Uint64
 
+// Process-wide scheduler-placement totals, flushed with the same cadence
+// as totalEvents.
+var (
+	totalRing      atomic.Uint64
+	totalBucket    atomic.Uint64
+	totalFar       atomic.Uint64
+	totalMaxBucket atomic.Int64
+)
+
 // TotalEvents reports the number of events executed by all engines in this
 // process whose Run/RunUntil has returned. It is safe for concurrent use
 // and is intended for coarse events/sec throughput reporting.
 func TotalEvents() uint64 { return totalEvents.Load() }
 
+// SchedStats reports where scheduled events landed in the calendar queue:
+// the same-instant ring, the near-window buckets, or the far heap
+// (overflow beyond the bucket window), plus the largest single-bucket
+// occupancy observed. Ratios between the tiers tell whether the window
+// geometry matches the workload.
+type SchedStats struct {
+	Ring      uint64 // insertions dispatched through the same-instant ring
+	Bucket    uint64 // insertions into the near-window calendar buckets
+	Far       uint64 // insertions that overflowed to the far heap
+	MaxBucket int    // peak single-bucket occupancy
+}
+
+// TotalSchedStats reports the process-wide scheduler-placement totals for
+// all engines whose Run/RunUntil has returned. Safe for concurrent use.
+func TotalSchedStats() SchedStats {
+	return SchedStats{
+		Ring:      totalRing.Load(),
+		Bucket:    totalBucket.Load(),
+		Far:       totalFar.Load(),
+		MaxBucket: int(totalMaxBucket.Load()),
+	}
+}
+
 // Events reports the number of events this engine has executed so far.
 func (e *Engine) Events() uint64 { return e.stepped }
 
-// flushStats folds the engine's local event count into the global total.
+// SchedStats reports this engine's scheduler-placement counters.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{Ring: e.statRing, Bucket: e.statBucket, Far: e.statFar, MaxBucket: e.statMaxBucket}
+}
+
+// flushStats folds the engine's local counters into the global totals.
 func (e *Engine) flushStats() {
 	if d := e.stepped - e.flushedAt; d != 0 {
 		totalEvents.Add(d)
 		e.flushedAt = e.stepped
+	}
+	if d := e.statRing - e.flushedSched.Ring; d != 0 {
+		totalRing.Add(d)
+		e.flushedSched.Ring = e.statRing
+	}
+	if d := e.statBucket - e.flushedSched.Bucket; d != 0 {
+		totalBucket.Add(d)
+		e.flushedSched.Bucket = e.statBucket
+	}
+	if d := e.statFar - e.flushedSched.Far; d != 0 {
+		totalFar.Add(d)
+		e.flushedSched.Far = e.statFar
+	}
+	for {
+		cur := totalMaxBucket.Load()
+		if int64(e.statMaxBucket) <= cur || totalMaxBucket.CompareAndSwap(cur, int64(e.statMaxBucket)) {
+			break
+		}
 	}
 }
 
@@ -155,14 +266,14 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled (non-cancelled) events. It is
 // O(1): the engine maintains a live-event counter instead of scanning the
-// heap.
+// queue.
 func (e *Engine) Pending() int { return e.pending }
 
 // alloc pops a recycled event struct (or allocates one) and enqueues it at
 // time at. Scheduling in the past is an engine-usage bug and panics.
 //
 // Event structs come from a per-engine free list: once an event has fired
-// (or been popped cancelled) it is recycled, so steady-state simulation
+// (or been dropped as cancelled) it is recycled, so steady-state simulation
 // does one event allocation per *concurrent* event rather than one per
 // scheduled event. The seq field doubles as an identity generation —
 // Timer.Stop compares it to detect recycled events.
@@ -181,8 +292,309 @@ func (e *Engine) alloc(at Time) *event {
 	ev.at, ev.seq, ev.cancelled = at, e.seq, false
 	e.seq++
 	e.pending++
-	heap.Push(&e.events, ev)
+	e.insert(ev)
 	return ev
+}
+
+// insert places the event in the tier matching its distance from now.
+func (e *Engine) insert(ev *event) {
+	ev.queued = true
+	if ev.at == e.now {
+		// Same-instant dispatch: events created at the current instant
+		// are younger (larger seq) than anything already queued for this
+		// instant, so a plain FIFO ring preserves (at, seq) order.
+		ev.next = nil
+		if e.ringT == nil {
+			e.ringH = ev
+		} else {
+			e.ringT.next = ev
+		}
+		e.ringT = ev
+		e.statRing++
+		return
+	}
+	tk := tickOf(ev.at)
+	if e.nbucket == 0 && len(e.far) == 0 && e.ringH == nil {
+		// Queue is empty: re-anchor the window at the new event so it
+		// lands in a bucket regardless of how far the old window drifted.
+		e.anchor, e.cursor = tk, tk
+	}
+	switch {
+	case tk < e.anchor:
+		// The clock (via RunUntil's idle advance) can sit before the
+		// window when the window was re-anchored at a far event; a new
+		// near event must move the window back. Rare, never on the
+		// callback hot path.
+		e.reanchor(tk)
+		e.bucketPut(tk, ev)
+	case tk < e.anchor+numBuckets:
+		e.bucketPut(tk, ev)
+	default:
+		e.farPush(ev)
+		e.statFar++
+	}
+}
+
+// bucketPut inserts the event into its tick's sorted bucket chain.
+func (e *Engine) bucketPut(tk int64, ev *event) {
+	e.relink(tk, ev)
+	i := int(tk & bucketMask)
+	if n := int(e.blen[i]); n > e.statMaxBucket {
+		e.statMaxBucket = n
+	}
+	if tk < e.cursor {
+		// The drain cursor had advanced past this (then-empty) tick;
+		// pull it back so the new event is seen.
+		e.cursor = tk
+	}
+	e.statBucket++
+}
+
+// reanchor moves the bucket window to start at tick tk, re-placing any
+// bucketed events (those beyond the new window spill to the far heap).
+// Chains are relinked in place; nothing allocates.
+func (e *Engine) reanchor(tk int64) {
+	var chain *event
+	if e.nbucket > 0 {
+		for i := range e.buckets {
+			for ev := e.buckets[i]; ev != nil; {
+				nxt := ev.next
+				ev.next = chain
+				chain = ev
+				ev = nxt
+			}
+			e.buckets[i], e.tails[i], e.blen[i] = nil, nil, 0
+		}
+		e.nbucket = 0
+	}
+	e.anchor, e.cursor = tk, tk
+	for ev := chain; ev != nil; {
+		nxt := ev.next
+		if mtk := tickOf(ev.at); mtk < tk+numBuckets {
+			e.relink(mtk, ev)
+		} else {
+			e.farPush(ev)
+		}
+		ev = nxt
+	}
+}
+
+// relink inserts an already-queued event into its tick's bucket chain,
+// keeping the chain sorted by (at, seq). The tail check makes the dominant
+// monotone insertion orders O(1); out-of-order arrivals walk the (small)
+// chain to their slot. It does not touch the placement stats (reanchor and
+// refill migrations reuse it).
+func (e *Engine) relink(tk int64, ev *event) {
+	i := int(tk & bucketMask)
+	if t := e.tails[i]; t == nil {
+		ev.next = nil
+		e.buckets[i] = ev
+		e.tails[i] = ev
+	} else if !eventLess(ev, t) {
+		ev.next = nil
+		t.next = ev
+		e.tails[i] = ev
+	} else if h := e.buckets[i]; eventLess(ev, h) {
+		ev.next = h
+		e.buckets[i] = ev
+	} else {
+		cur := h
+		for cur.next != nil && !eventLess(ev, cur.next) {
+			cur = cur.next
+		}
+		ev.next = cur.next
+		cur.next = ev
+	}
+	e.blen[i]++
+	e.nbucket++
+}
+
+// farPush inserts the event into the 4-ary min-heap (hole-based sift-up,
+// monomorphic comparisons — no container/heap interface dispatch).
+func (e *Engine) farPush(ev *event) {
+	h := append(e.far, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.far = h
+}
+
+// farPop removes and returns the heap minimum (hole-based 4-ary sift-down).
+func (e *Engine) farPop() *event {
+	h := e.far
+	n := len(h) - 1
+	root := h[0]
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !eventLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	e.far = h
+	return root
+}
+
+// refill re-anchors the empty bucket window at the earliest far event and
+// migrates every far event inside the new window into its bucket. Must only
+// be called when ring and buckets are empty (the far heap is otherwise
+// never consulted: every bucketed event precedes every far event).
+func (e *Engine) refill() {
+	tk := tickOf(e.far[0].at)
+	e.anchor, e.cursor = tk, tk
+	end := tk + numBuckets
+	for len(e.far) > 0 && tickOf(e.far[0].at) < end {
+		ev := e.farPop()
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		e.relink(tickOf(ev.at), ev)
+	}
+}
+
+// ringPop removes and returns the ring head.
+func (e *Engine) ringPop() *event {
+	ev := e.ringH
+	e.ringH = ev.next
+	if e.ringH == nil {
+		e.ringT = nil
+	}
+	ev.next = nil
+	return ev
+}
+
+// next locates the earliest live event without removing it, lazily
+// recycling cancelled events and refilling the window from the far heap
+// as needed. The returned slot locates the event for take: -1 means the
+// ring head, otherwise the event is the head of that bucket's sorted
+// chain. Returns nil when no live events remain.
+func (e *Engine) next() (ev *event, slot int) {
+	// Drop cancelled events from the ring head so the head is live.
+	for e.ringH != nil && e.ringH.cancelled {
+		e.recycle(e.ringPop())
+	}
+	rh := e.ringH
+	if rh != nil && e.nowClean {
+		// No bucketed event at exactly now (verified since the last
+		// clock advance), so the ring head is the global minimum.
+		return rh, -1
+	}
+	for {
+		if e.nbucket > 0 {
+			// Scan the window from the drain cursor. With a live ring
+			// head (at == now) only a bucketed event at exactly now can
+			// precede it, so the scan is bounded to now's tick.
+			limit := e.anchor + numBuckets
+			if rh != nil {
+				if lim := tickOf(e.now) + 1; lim < limit {
+					limit = lim
+				}
+			}
+			for e.cursor < limit {
+				i := int(e.cursor & bucketMask)
+				// Drop cancelled chain heads in passing (lazy cancel);
+				// interior cancelled events surface here as earlier
+				// entries pop.
+				h := e.buckets[i]
+				for h != nil && h.cancelled {
+					e.buckets[i] = h.next
+					if h.next == nil {
+						e.tails[i] = nil
+					}
+					e.blen[i]--
+					e.nbucket--
+					e.recycle(h)
+					h = e.buckets[i]
+				}
+				if h != nil {
+					if rh != nil && eventLess(rh, h) {
+						e.nowClean = true
+						return rh, -1
+					}
+					return h, i
+				}
+				e.cursor++
+			}
+		}
+		if rh != nil {
+			// Nothing at now in the buckets; remember that until the
+			// clock moves (new at-now events always go to the ring).
+			e.nowClean = true
+			return rh, -1
+		}
+		if e.nbucket == 0 && len(e.far) == 0 {
+			return nil, 0
+		}
+		if len(e.far) == 0 {
+			// nbucket > 0 yet the window scan found nothing: impossible
+			// by the window invariant (every bucketed event's tick lies
+			// in [anchor, anchor+numBuckets) at or after the cursor).
+			panic("sim: calendar queue lost bucketed events")
+		}
+		e.refill()
+	}
+}
+
+// take removes the event located by next (always a chain head) from its
+// tier.
+func (e *Engine) take(ev *event, slot int) {
+	if slot < 0 {
+		e.ringPop()
+		return
+	}
+	e.buckets[slot] = ev.next
+	if ev.next == nil {
+		e.tails[slot] = nil
+	}
+	ev.next = nil
+	e.blen[slot]--
+	e.nbucket--
+}
+
+// fire advances the clock to the event and runs its callback.
+func (e *Engine) fireEvent(ev *event) {
+	if ev.at != e.now {
+		e.now = ev.at
+		e.nowClean = false
+	}
+	e.pending--
+	fn, fire, arg := ev.fn, ev.fire, ev.arg
+	e.recycle(ev)
+	if fire != nil {
+		fire(e.now, arg)
+	} else {
+		fn()
+	}
+	e.stepped++
 }
 
 // schedule enqueues the closure fn to run at time at (the cold-path API).
@@ -204,7 +616,8 @@ func (e *Engine) scheduleCall(at Time, fire func(Time, any), arg any) *event {
 // recycle returns a popped event to the free list. Callback and argument
 // references are dropped so captured state can be collected.
 func (e *Engine) recycle(ev *event) {
-	ev.fn, ev.fire, ev.arg = nil, nil, nil
+	ev.fn, ev.fire, ev.arg, ev.next = nil, nil, nil, nil
+	ev.queued = false
 	e.free = append(e.free, ev)
 }
 
@@ -256,11 +669,13 @@ func (e *Engine) AfterFunc(d time.Duration, fn func()) *Timer {
 }
 
 // Stop cancels the timer. It reports whether the callback was prevented
-// from running (false if it already ran or was already stopped).
+// from running (false if it already ran or was already stopped). Stop is
+// O(1) in every tier: the event is only marked and the queue skips and
+// recycles it when a scan next encounters it (lazy cancellation).
 func (t *Timer) Stop() bool {
 	// ev is recycled after firing; a seq mismatch means this slot now
 	// belongs to a different, later event that must not be cancelled.
-	if t.ev == nil || t.ev.seq != t.seq || t.ev.cancelled || t.ev.index < 0 {
+	if t.ev == nil || t.ev.seq != t.seq || t.ev.cancelled || !t.ev.queued {
 		return false
 	}
 	t.ev.cancelled = true
@@ -274,26 +689,13 @@ func (t *Timer) When() Time { return t.at }
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			// Pending was already decremented when the event was cancelled.
-			e.recycle(ev)
-			continue
-		}
-		e.now = ev.at
-		e.pending--
-		fn, fire, arg := ev.fn, ev.fire, ev.arg
-		e.recycle(ev)
-		if fire != nil {
-			fire(e.now, arg)
-		} else {
-			fn()
-		}
-		e.stepped++
-		return true
+	ev, slot := e.next()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.take(ev, slot)
+	e.fireEvent(ev)
+	return true
 }
 
 // Run executes events until the queue drains or a proc fails. It returns
@@ -315,20 +717,19 @@ func (e *Engine) Run() error {
 func (e *Engine) RunUntil(t Time) error {
 	defer e.flushStats()
 	for e.err == nil {
-		if len(e.events) == 0 {
+		ev, slot := e.next()
+		if ev == nil || ev.at > t {
 			break
 		}
-		// Peek: events[0] is the heap minimum.
-		if e.events[0].at > t {
-			break
-		}
-		e.Step()
+		e.take(ev, slot)
+		e.fireEvent(ev)
 	}
 	if e.err != nil {
 		return e.err
 	}
 	if e.now < t {
 		e.now = t
+		e.nowClean = false
 	}
 	return nil
 }

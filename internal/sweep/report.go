@@ -22,11 +22,15 @@ type BenchReport struct {
 	// Workers is the -j value of the parallel pass.
 	Workers int `json:"workers"`
 	// SerialSeconds and ParallelSeconds are wall-clock times of the two
-	// passes over the identical workload.
+	// passes over the identical workload. When only a single pass ran
+	// (one worker or one core — see NewSinglePassReport) both record that
+	// one pass.
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
-	// Speedup is SerialSeconds / ParallelSeconds.
-	Speedup float64 `json:"speedup"`
+	// Speedup is SerialSeconds / ParallelSeconds. It is null when the
+	// comparison would be serial-vs-serial (one worker or one core):
+	// timing two identical serial passes measures nothing.
+	Speedup *float64 `json:"speedup"`
 	// Identical reports whether the parallel pass produced byte-identical
 	// output to the serial pass.
 	Identical bool `json:"identical"`
@@ -49,13 +53,20 @@ type Measurement struct {
 	start   time.Time
 	events  uint64
 	mallocs uint64
+	sched   sim.SchedStats
 }
 
-// StartMeasure snapshots wall clock, event, and allocation counters.
+// StartMeasure snapshots wall clock, event, allocation, and
+// scheduler-placement counters.
 func StartMeasure() Measurement {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return Measurement{start: time.Now(), events: sim.TotalEvents(), mallocs: ms.Mallocs}
+	return Measurement{
+		start:   time.Now(),
+		events:  sim.TotalEvents(),
+		mallocs: ms.Mallocs,
+		sched:   sim.TotalSchedStats(),
+	}
 }
 
 // Stop returns wall seconds, events executed, and allocations since
@@ -66,6 +77,19 @@ func (m Measurement) Stop() (seconds float64, events, allocs uint64) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return seconds, events, ms.Mallocs - m.mallocs
+}
+
+// SchedDelta reports the scheduler tier-placement counters accumulated
+// since StartMeasure. MaxBucket is the process-wide high-water mark, not
+// a delta (a maximum has no meaningful difference).
+func (m Measurement) SchedDelta() sim.SchedStats {
+	s := sim.TotalSchedStats()
+	return sim.SchedStats{
+		Ring:      s.Ring - m.sched.Ring,
+		Bucket:    s.Bucket - m.sched.Bucket,
+		Far:       s.Far - m.sched.Far,
+		MaxBucket: s.MaxBucket,
+	}
 }
 
 // NewReport assembles a BenchReport from the two passes' measurements.
@@ -80,19 +104,52 @@ func NewReport(tool string, workers int, serialSec float64, parSec float64, parE
 		Events:          parEvents,
 	}
 	if parSec > 0 {
-		r.Speedup = serialSec / parSec
+		speedup := serialSec / parSec
+		r.Speedup = &speedup
 		r.EventsPerSec = float64(parEvents) / parSec
 	}
 	if parEvents > 0 {
 		r.AllocsPerEvent = float64(parAllocs) / float64(parEvents)
 	}
-	switch {
-	case r.Workers == 1:
-		r.Warning = "parallel pass ran with workers=1: speedup is serial-vs-serial and meaningless"
-	case r.GOMAXPROCS == 1:
-		r.Warning = "GOMAXPROCS=1: workers share one core, speedup does not measure parallelism"
-	}
+	r.Warning = singleCoreWarning(r.Workers)
 	return r
+}
+
+// NewSinglePassReport assembles a BenchReport when the serial-vs-parallel
+// comparison was skipped: with one worker or one core the second pass
+// would time the identical serial workload again, so the single measured
+// pass fills both columns, Speedup is null, and Identical is trivially
+// true (a pass is byte-identical to itself).
+func NewSinglePassReport(tool string, workers int, sec float64, events, allocs uint64) BenchReport {
+	r := BenchReport{
+		Tool:            tool,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         Jobs(workers),
+		SerialSeconds:   sec,
+		ParallelSeconds: sec,
+		Identical:       true,
+		Events:          events,
+	}
+	if sec > 0 {
+		r.EventsPerSec = float64(events) / sec
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(allocs) / float64(events)
+	}
+	r.Warning = singleCoreWarning(r.Workers)
+	return r
+}
+
+// singleCoreWarning flags methodologically meaningless comparisons: one
+// worker or one core means speedup cannot measure parallelism.
+func singleCoreWarning(workers int) string {
+	switch {
+	case workers == 1:
+		return "parallel pass ran with workers=1: speedup is serial-vs-serial and meaningless"
+	case runtime.GOMAXPROCS(0) == 1:
+		return "GOMAXPROCS=1: workers share one core, speedup does not measure parallelism"
+	}
+	return ""
 }
 
 // HotpathReport is the machine-readable record of the single-engine event
@@ -117,10 +174,22 @@ type HotpathReport struct {
 	BaselineEventsPerSec   float64 `json:"baseline_events_per_sec"`
 	BaselineAllocsPerEvent float64 `json:"baseline_allocs_per_event"`
 	EventsPerSecRatio      float64 `json:"events_per_sec_ratio"`
+	// Scheduler names the event-queue implementation that produced the
+	// run (sim.SchedulerName), so records from different queue designs
+	// are distinguishable.
+	Scheduler string `json:"scheduler,omitempty"`
+	// The sched_* fields break down where event insertions landed in the
+	// calendar queue: the same-instant ring, the near-window buckets, or
+	// the far-future heap (the queue's overflow tier), plus the largest
+	// single-tick bucket chain observed.
+	SchedRingEvents   uint64 `json:"sched_ring_events,omitempty"`
+	SchedBucketEvents uint64 `json:"sched_bucket_events,omitempty"`
+	SchedFarEvents    uint64 `json:"sched_far_events,omitempty"`
+	SchedMaxBucketLen int    `json:"sched_max_bucket_len,omitempty"`
 }
 
 // NewHotpathReport assembles a HotpathReport from one measured pass.
-func NewHotpathReport(tool, workload string, seconds float64, events, allocs uint64, baseEvtSec, baseAllocs float64) HotpathReport {
+func NewHotpathReport(tool, workload string, seconds float64, events, allocs uint64, sched sim.SchedStats, baseEvtSec, baseAllocs float64) HotpathReport {
 	r := HotpathReport{
 		Tool:                   tool,
 		Workload:               workload,
@@ -129,6 +198,11 @@ func NewHotpathReport(tool, workload string, seconds float64, events, allocs uin
 		Events:                 events,
 		BaselineEventsPerSec:   baseEvtSec,
 		BaselineAllocsPerEvent: baseAllocs,
+		Scheduler:              sim.SchedulerName,
+		SchedRingEvents:        sched.Ring,
+		SchedBucketEvents:      sched.Bucket,
+		SchedFarEvents:         sched.Far,
+		SchedMaxBucketLen:      sched.MaxBucket,
 	}
 	if seconds > 0 {
 		r.EventsPerSec = float64(events) / seconds
@@ -140,6 +214,21 @@ func NewHotpathReport(tool, workload string, seconds float64, events, allocs uin
 		r.EventsPerSecRatio = r.EventsPerSec / baseEvtSec
 	}
 	return r
+}
+
+// ReadHotpathFile parses a previously written hot-path report, so a new
+// run can print its delta against the committed record before
+// overwriting it.
+func ReadHotpathFile(path string) (HotpathReport, error) {
+	var r HotpathReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
 }
 
 // WriteHotpathFile writes the report as indented JSON to path.

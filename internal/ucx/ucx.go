@@ -243,15 +243,26 @@ type endpoint struct {
 	rail  int // round-robin cursor over qps
 	ready bool
 
-	// Sender staging ring for bcopy/zcopy headers+payloads.
+	// Sender staging ring for bcopy/zcopy headers+payloads. freeSlots is
+	// a LIFO stack (slot reuse order is irrelevant), so push/pop never
+	// leak capacity off the front of the backing array.
 	staging   *ibv.MR
 	slotSize  int
 	freeSlots []int
 	// slotOf maps WRID -> staging slot to free on send completion.
 	slotOf map[uint64]int
+	// sendSGEs holds one reusable gather list per staging slot. The verbs
+	// layer retains SGList for the lifetime of the posted WR, and a slot
+	// has at most one send in flight, so per-slot reuse keeps postEager
+	// allocation-free without aliasing live WRs.
+	sendSGEs [][2]ibv.SGE
 
-	// Receive bounce ring.
-	bounce *ibv.MR
+	// Receive bounce ring. recvWRs caches one receive WR per bounce slot:
+	// the gather list for a slot never changes and a slot is reposted only
+	// after its previous receive completed, so the same WR (and SGList
+	// backing array) is posted every time without a per-repost allocation.
+	bounce  *ibv.MR
+	recvWRs []ibv.RecvWR
 
 	// pending holds sends deferred on wireup, staging or credit
 	// exhaustion, or a full send queue.
@@ -402,8 +413,14 @@ func (t *Transport) newEndpoint(dst int) *endpoint {
 		bounce:   bounce,
 		rndv:     make(map[uint64]*rndvOp),
 	}
+	ep.sendSGEs = make([][2]ibv.SGE, t.cfg.Slots)
+	ep.recvWRs = make([]ibv.RecvWR, t.cfg.Slots)
 	for i := 0; i < t.cfg.Slots; i++ {
 		ep.freeSlots = append(ep.freeSlots, i)
+		ep.recvWRs[i] = ibv.RecvWR{
+			WRID:   uint64(i),
+			SGList: []ibv.SGE{bounce.SGEFor(i*slotSize, slotSize)},
+		}
 	}
 	perRail := t.cfg.Slots / t.cfg.Rails
 	ep.credits = make([]int, t.cfg.Rails)
@@ -458,11 +475,7 @@ func (t *Transport) postBounceRecvs(ep *endpoint) {
 }
 
 func (t *Transport) repostBounce(ep *endpoint, slot int) {
-	err := ep.qps[slot%len(ep.qps)].PostRecv(ibv.RecvWR{
-		WRID:   uint64(slot),
-		SGList: []ibv.SGE{ep.bounce.SGEFor(slot*ep.slotSize, ep.slotSize)},
-	})
-	if err != nil {
+	if err := ep.qps[slot%len(ep.qps)].PostRecv(ep.recvWRs[slot]); err != nil {
 		panic(fmt.Sprintf("ucx: PostRecv bounce: %v", err))
 	}
 }
@@ -598,8 +611,9 @@ func (t *Transport) stashPending(captured []byte) *ibv.MR {
 // postEager writes the header (and payload for bcopy) into a staging slot
 // and posts the send WR.
 func (t *Transport) postEager(ep *endpoint, header uint64, mr *ibv.MR, off int, data []byte, bcopy bool) {
-	slot := ep.freeSlots[0]
-	ep.freeSlots = ep.freeSlots[1:]
+	last := len(ep.freeSlots) - 1
+	slot := ep.freeSlots[last]
+	ep.freeSlots = ep.freeSlots[:last]
 	base := slot * ep.slotSize
 	stage := ep.staging.Bytes()
 	binary.BigEndian.PutUint64(stage[base:base+headerBytes], header)
@@ -607,12 +621,12 @@ func (t *Transport) postEager(ep *endpoint, header uint64, mr *ibv.MR, off int, 
 	var sges []ibv.SGE
 	if bcopy || mr == nil {
 		copy(stage[base+headerBytes:base+headerBytes+len(data)], data)
-		sges = []ibv.SGE{ep.staging.SGEFor(base, headerBytes+len(data))}
+		ep.sendSGEs[slot][0] = ep.staging.SGEFor(base, headerBytes+len(data))
+		sges = ep.sendSGEs[slot][:1]
 	} else {
-		sges = []ibv.SGE{
-			ep.staging.SGEFor(base, headerBytes),
-			mr.SGEFor(off, len(data)),
-		}
+		ep.sendSGEs[slot][0] = ep.staging.SGEFor(base, headerBytes)
+		ep.sendSGEs[slot][1] = mr.SGEFor(off, len(data))
+		sges = ep.sendSGEs[slot][:2]
 	}
 	rail := ep.takeEagerRail()
 	if rail < 0 {
