@@ -4,12 +4,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-hotpath bench-parallel bench-compare
+.PHONY: check vet staticcheck build test race conformance importgate bench bench-hotpath bench-parallel bench-compare
 
-check: vet build test race
+check: vet build test race conformance importgate
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is not vendored; install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+staticcheck:
+	staticcheck ./...
 
 build:
 	$(GO) build ./...
@@ -22,6 +27,22 @@ test:
 # goroutine. Race-check them on every PR.
 race:
 	$(GO) test -race ./internal/sweep/... ./internal/tuning/...
+
+# Provider-conformance suite: every transport backend (verbs, ucx, shm)
+# against the same SPI contract, including under the race detector.
+conformance:
+	$(GO) test ./internal/xport/...
+	$(GO) test -race ./internal/xport/...
+
+# The aggregation strategies and messaging layers must talk to transports
+# only through the SPI: no direct backend imports.
+importgate:
+	@if grep -rn '"repro/internal/ibv"\|"repro/internal/ucx"' \
+		internal/core internal/pt2pt internal/mpipcl; then \
+		echo "importgate: core/pt2pt/mpipcl must import only internal/xport"; \
+		exit 1; \
+	fi
+	@echo "importgate: clean"
 
 # Hot-path allocation gates and benchmarks: the AllocsPerRun regression
 # tests assert the sim typed-event and fabric message paths stay at zero

@@ -39,6 +39,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/xport"
 )
 
 func main() {
@@ -48,11 +49,26 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress while running")
 	csvDir := flag.String("csv", "", "directory to also write one CSV per table")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
+	provider := flag.String("provider", "", "transport backend: "+strings.Join(xport.Names(), ", ")+" (default verbs)")
 	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
 	hotpathJSON := flag.String("hotpathjson", "", "run the fixed single-engine hot-path workload and write its report to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *provider != "" {
+		known := false
+		for _, name := range xport.Names() {
+			if name == *provider {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "partbench: unknown provider %q (have: %s)\n",
+				*provider, strings.Join(xport.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -112,7 +128,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := experiments.Config{Quick: *quick, Jobs: *jobs}
+	cfg := experiments.Config{Quick: *quick, Jobs: *jobs, Provider: *provider}
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
@@ -153,6 +169,10 @@ func main() {
 			parSec, parEvents, parAllocs := m.Stop()
 			report = sweep.NewReport("partbench "+*exp, cfg.Jobs,
 				serialSec, parSec, parEvents, parAllocs, parallelOut.String() == serialOut.String())
+		}
+		report.Provider = cfg.Provider
+		if report.Provider == "" {
+			report.Provider = "verbs"
 		}
 		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: %v\n", err)

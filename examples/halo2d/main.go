@@ -33,7 +33,11 @@ func main() {
 	job := partib.NewJob(partib.JobConfig{Nodes: gridX * gridY})
 	engines := make([]*partib.Engine, job.Size())
 	for i := range engines {
-		engines[i] = partib.NewEngine(job.Rank(i))
+		eng, err := partib.NewEngine(job.Rank(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[i] = eng
 	}
 	opts := partib.Options{
 		Strategy: partib.StrategyTimerPLogGP,
@@ -92,8 +96,12 @@ func main() {
 				partib.SpawnThread(job, g, "stencil", func(tp *partib.Proc) {
 					// Interior update time varies a little per thread.
 					r.Compute(tp, 200*time.Microsecond+time.Duration(t)*5*time.Microsecond)
-					psE.Pready(tp, t)
-					psW.Pready(tp, t)
+					if err := psE.Pready(tp, t); err != nil {
+						log.Fatal(err)
+					}
+					if err := psW.Pready(tp, t); err != nil {
+						log.Fatal(err)
+					}
 				})
 			}
 			g.Wait(p)

@@ -30,9 +30,13 @@ const (
 
 func main() {
 	job := partib.NewJob(partib.JobConfig{Nodes: 2})
-	engines := []*partib.Engine{
-		partib.NewEngine(job.Rank(0)),
-		partib.NewEngine(job.Rank(1)),
+	engines := make([]*partib.Engine, 2)
+	for i := range engines {
+		eng, err := partib.NewEngine(job.Rank(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[i] = eng
 	}
 	src := make([]byte, total)
 	dst := make([]byte, total)
@@ -58,7 +62,9 @@ func main() {
 					// Partitions are produced sequentially in time: thread
 					// i's data is ready after (i+1) production steps.
 					r.Compute(tp, time.Duration(i+1)*produce)
-					ps.Pready(tp, i)
+					if err := ps.Pready(tp, i); err != nil {
+						log.Fatal(err)
+					}
 				})
 			}
 			g.Wait(p)
@@ -76,7 +82,14 @@ func main() {
 				partib.SpawnThread(job, g, "consumer", func(tp *partib.Proc) {
 					// Poll MPI_Parrived for this thread's partition, then
 					// process it immediately.
-					for !pr.Parrived(tp, i) {
+					for {
+						ok, err := pr.Parrived(tp, i)
+						if err != nil {
+							log.Fatal(err)
+						}
+						if ok {
+							break
+						}
 						tp.Sleep(20 * time.Microsecond)
 					}
 					r.Compute(tp, processing)

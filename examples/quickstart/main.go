@@ -24,9 +24,13 @@ func main() {
 	)
 
 	job := partib.NewJob(partib.JobConfig{Nodes: 2})
-	engines := []*partib.Engine{
-		partib.NewEngine(job.Rank(0)),
-		partib.NewEngine(job.Rank(1)),
+	engines := make([]*partib.Engine, 2)
+	for i := range engines {
+		eng, err := partib.NewEngine(job.Rank(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[i] = eng
 	}
 
 	src := make([]byte, total)
@@ -60,7 +64,9 @@ func main() {
 						compute = 5 * time.Millisecond
 					}
 					r.Compute(tp, compute)
-					ps.Pready(tp, i)
+					if err := ps.Pready(tp, i); err != nil {
+						log.Fatal(err)
+					}
 					fmt.Printf("[%8v] sender: thread %d called Pready\n", tp.Now(), i)
 				})
 			}
@@ -78,7 +84,11 @@ func main() {
 			p.Sleep(2 * time.Millisecond)
 			arrived := 0
 			for i := 0; i < parts; i++ {
-				if pr.Parrived(p, i) {
+				ok, err := pr.Parrived(p, i)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ok {
 					arrived++
 				}
 			}

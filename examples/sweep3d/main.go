@@ -35,7 +35,11 @@ func runSweep(opts partib.Options) time.Duration {
 	job := partib.NewJob(partib.JobConfig{Nodes: gridX * gridY})
 	engines := make([]*partib.Engine, job.Size())
 	for i := range engines {
-		engines[i] = partib.NewEngine(job.Rank(i))
+		eng, err := partib.NewEngine(job.Rank(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[i] = eng
 	}
 	var iterStart, iterEnd partib.Time
 	var total time.Duration
@@ -102,10 +106,14 @@ func runSweep(opts partib.Options) time.Duration {
 					}
 					r.Compute(tp, c)
 					if sendE != nil {
-						sendE.Pready(tp, t)
+						if err := sendE.Pready(tp, t); err != nil {
+							log.Fatal(err)
+						}
 					}
 					if sendS != nil {
-						sendS.Pready(tp, t)
+						if err := sendS.Pready(tp, t); err != nil {
+							log.Fatal(err)
+						}
 					}
 				})
 			}

@@ -57,6 +57,8 @@ type P2PConfig struct {
 	Iters  int
 	// Opts selects the aggregation strategy under test.
 	Opts core.Options
+	// Provider names the transport provider ("" selects "verbs").
+	Provider string
 	// Cluster overrides the machine (nil selects two Niagara nodes).
 	Cluster *cluster.Config
 }
@@ -148,11 +150,25 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 		return P2PResult{}, err
 	}
 	clCfg := cluster.NiagaraConfig(2)
+	ranksPerNode := 0
+	if cfg.Provider == "shm" {
+		// An intra-node provider cannot cross the fabric: place both ranks
+		// on one node instead of one per node.
+		clCfg = cluster.NiagaraConfig(1)
+		ranksPerNode = 2
+	}
 	if cfg.Cluster != nil {
 		clCfg = *cfg.Cluster
 	}
-	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
-	engines := []*core.Engine{core.NewEngine(w.Rank(0)), core.NewEngine(w.Rank(1))}
+	w := mpi.NewWorld(mpi.Config{Cluster: clCfg, RanksPerNode: ranksPerNode})
+	engines := make([]*core.Engine, 2)
+	for i := range engines {
+		eng, err := core.NewEngine(w.Rank(i), cfg.Provider)
+		if err != nil {
+			return P2PResult{}, err
+		}
+		engines[i] = eng
+	}
 
 	rec := profiler.New(cfg.Parts)
 	opts := cfg.Opts
@@ -200,7 +216,9 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 					if compute > 0 {
 						r.Compute(tp, compute)
 					}
-					ps.Pready(tp, t)
+					if err := ps.Pready(tp, t); err != nil {
+						panic(err)
+					}
 					if tp.Now() > lastPready {
 						lastPready = tp.Now()
 					}

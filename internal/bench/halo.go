@@ -32,6 +32,8 @@ type HaloConfig struct {
 	Iters  int
 	// Opts selects the aggregation strategy under test.
 	Opts core.Options
+	// Provider names the transport provider ("" selects "verbs").
+	Provider string
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
 }
@@ -112,7 +114,11 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
 	engines := make([]*core.Engine, nodes)
 	for i := 0; i < nodes; i++ {
-		engines[i] = core.NewEngine(w.Rank(i))
+		eng, err := core.NewEngine(w.Rank(i), cfg.Provider)
+		if err != nil {
+			return HaloResult{}, err
+		}
+		engines[i] = eng
 	}
 	rankOf := func(x, y int) int {
 		x = (x + cfg.GridX) % cfg.GridX
@@ -173,7 +179,9 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 						r.Compute(tp, compute)
 					}
 					for _, ps := range sends {
-						ps.Pready(tp, t)
+						if err := ps.Pready(tp, t); err != nil {
+							panic(err)
+						}
 					}
 				})
 			}

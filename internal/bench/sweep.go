@@ -33,6 +33,8 @@ type SweepConfig struct {
 	Iters  int
 	// Opts selects the aggregation strategy under test.
 	Opts core.Options
+	// Provider names the transport provider ("" selects "verbs").
+	Provider string
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
 }
@@ -113,7 +115,11 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 
 	engines := make([]*core.Engine, nodes)
 	for i := 0; i < nodes; i++ {
-		engines[i] = core.NewEngine(w.Rank(i))
+		eng, err := core.NewEngine(w.Rank(i), cfg.Provider)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		engines[i] = eng
 	}
 
 	// Tags distinguish the two directions.
@@ -202,10 +208,14 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 						r.Compute(tp, compute)
 					}
 					if sr.sendE != nil {
-						sr.sendE.Pready(tp, t)
+						if err := sr.sendE.Pready(tp, t); err != nil {
+							panic(err)
+						}
 					}
 					if sr.sendS != nil {
-						sr.sendS.Pready(tp, t)
+						if err := sr.sendS.Pready(tp, t); err != nil {
+							panic(err)
+						}
 					}
 				})
 			}

@@ -21,7 +21,11 @@ func newEnv(nodes int) *env {
 	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(nodes)})
 	e := &env{w: w}
 	for i := 0; i < nodes; i++ {
-		e.cls = append(e.cls, New(pt2pt.New(w.Rank(i), nil)))
+		c, err := pt2pt.New(w.Rank(i), "")
+		if err != nil {
+			panic(err)
+		}
+		e.cls = append(e.cls, New(c))
 	}
 	return e
 }

@@ -14,7 +14,7 @@
 // # Lifecycle
 //
 // PsendInit/PrecvInit register the persistent buffers, pick the
-// aggregation plan, create and asynchronously connect the queue pairs, and
+// aggregation plan, create and asynchronously connect the endpoints, and
 // match sender to receiver by (source rank, tag) in posted order — no
 // wildcards, as the Partitioned interface specifies. Start arms a
 // communication round (the first sender Start polls the progress engine
@@ -26,8 +26,8 @@
 //
 // # Strategies
 //
-//   - StrategyBaseline: one message per user partition through the UCX-like
-//     layer (internal/ucx) — the `part_persist` stand-in.
+//   - StrategyBaseline: one message per user partition through the
+//     provider's active-message engine — the `part_persist` stand-in.
 //   - StrategyTuningTable: transport partition and QP counts from an
 //     offline brute-force table (Section IV-B).
 //   - StrategyPLogGP: counts from the PLogGP model at init time
@@ -36,15 +36,18 @@
 //     mechanism of Section IV-D — the first Pready in a group sleeps up to
 //     δ and, on expiry, sends the largest contiguous ready runs so a
 //     laggard cannot hold back the whole group.
+//
+// The module programs against the provider-neutral transport SPI
+// (internal/xport) only: the same strategy code runs over the verbs, ucx,
+// and shm backends, selected at Engine construction.
 package core
 
 import (
 	"fmt"
 
-	"repro/internal/ibv"
 	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/ucx"
+	"repro/internal/xport"
 )
 
 // EncodeImm packs (starting user partition, contiguous count) into the
@@ -74,16 +77,16 @@ type sinitMsg struct {
 	bytes     int
 	strategy  Strategy
 	transport int
-	qps       []*ibv.QP
+	descs     []xport.Desc
 }
 
-// rinitMsg answers with the receiver's buffer and queue pairs.
+// rinitMsg answers with the receiver's buffer and endpoint descriptors.
 type rinitMsg struct {
 	peerReq uint32 // the sender's request id
 	reqID   uint32 // the receiver's request id
 	addr    uint64
 	rkey    uint32
-	qps     []*ibv.QP
+	descs   []xport.Desc
 }
 
 // creditMsg grants the sender one round: the receiver has reset its
@@ -100,11 +103,12 @@ type matchKey struct {
 }
 
 // Engine is the per-rank partitioned-communication module. Create exactly
-// one per rank; it owns the rank's UCX-like transport (for the baseline
-// strategy) and the module's control handlers.
+// one per rank; it owns the rank's active-message transport (for the
+// baseline strategy) and the module's control handlers.
 type Engine struct {
-	r   *mpi.Rank
-	ucx *ucx.Transport
+	r    *mpi.Rank
+	pv   xport.Provider
+	msgr xport.Messenger
 
 	nextReq      uint32
 	psends       map[uint32]*Psend
@@ -118,11 +122,26 @@ type pendingSinit struct {
 	msg  sinitMsg
 }
 
-// NewEngine builds the partitioned module for a rank.
-func NewEngine(r *mpi.Rank) *Engine {
+// NewEngine builds the partitioned module for a rank over the named
+// transport provider; the empty string selects "verbs", the backend the
+// paper evaluates on. It returns xport.ErrUnknownProvider (wrapped) when
+// no such backend is registered.
+func NewEngine(r *mpi.Rank, provider string) (*Engine, error) {
+	if provider == "" {
+		provider = "verbs"
+	}
+	pv, err := r.Provider(provider)
+	if err != nil {
+		return nil, err
+	}
+	msgr, err := pv.NewMessenger(xport.MessengerConfig{})
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		r:            r,
-		ucx:          ucx.New(r, ucx.Config{}),
+		pv:           pv,
+		msgr:         msgr,
 		psends:       make(map[uint32]*Psend),
 		precvs:       make(map[uint32]*Precv),
 		pendingRecvs: make(map[matchKey][]*Precv),
@@ -131,16 +150,20 @@ func NewEngine(r *mpi.Rank) *Engine {
 	r.HandleCtrl(ctrlSinit, e.onSinit)
 	r.HandleCtrl(ctrlRinit, e.onRinit)
 	r.HandleCtrl(ctrlCredit, e.onCredit)
-	e.ucx.SetEagerHandler(e.onBaselineEager)
-	e.ucx.SetRndv(e.baselineRndvTarget, e.onBaselineRndvDone)
-	return e
+	e.msgr.SetEagerHandler(e.onBaselineEager)
+	e.msgr.SetRndv(e.baselineRndvTarget, e.onBaselineRndvDone)
+	return e, nil
 }
 
 // Rank returns the rank this module serves.
 func (e *Engine) Rank() *mpi.Rank { return e.r }
 
-// UCX returns the module's transport (exported for tests and stats).
-func (e *Engine) UCX() *ucx.Transport { return e.ucx }
+// Provider returns the transport backend the module runs over.
+func (e *Engine) Provider() xport.Provider { return e.pv }
+
+// Messenger returns the module's active-message transport (exported for
+// tests and stats).
+func (e *Engine) Messenger() xport.Messenger { return e.msgr }
 
 // allocReq hands out request ids; id 0 is reserved as "none".
 func (e *Engine) allocReq() uint32 {
@@ -184,7 +207,7 @@ func (e *Engine) onCredit(from int, data any) {
 }
 
 // baselineHeader packs the receiver request id and partition index into a
-// UCX active-message header.
+// transport active-message header.
 func baselineHeader(recvReq uint32, part int) uint64 {
 	return uint64(recvReq)<<32 | uint64(uint32(part))
 }
@@ -207,7 +230,7 @@ func (e *Engine) onBaselineEager(p *sim.Proc, from int, header uint64, data []by
 }
 
 // baselineRndvTarget resolves the landing zone of a rendezvous partition.
-func (e *Engine) baselineRndvTarget(from int, header uint64, size int) (*ibv.MR, int, bool) {
+func (e *Engine) baselineRndvTarget(from int, header uint64, size int) (xport.Mem, int, bool) {
 	recvReq, part := splitBaselineHeader(header)
 	pr, ok := e.precvs[recvReq]
 	if !ok {
@@ -228,7 +251,7 @@ func (e *Engine) onBaselineRndvDone(from int, header uint64, size int) {
 }
 
 // match wires a matched (Psend, Precv) pair: the receiver creates its
-// queue pairs, connects them against the sender's, and replies with its
+// endpoints, connects them against the sender's, and replies with its
 // buffer coordinates. Runs at control-handler (event) context.
 func (e *Engine) match(pr *Precv, from int, msg sinitMsg) {
 	if msg.userParts != pr.userParts {
@@ -244,27 +267,19 @@ func (e *Engine) match(pr *Precv, from int, msg sinitMsg) {
 	pr.peerReq = msg.reqID
 
 	if msg.strategy != StrategyBaseline {
-		for i, sqp := range msg.qps {
-			qp, err := e.r.PD().CreateQP(ibv.QPConfig{
-				SendCQ:    e.r.SendCQ(),
-				RecvCQ:    e.r.RecvCQ(),
-				MaxRecvWR: pr.userParts + 16,
+		for i, sdesc := range msg.descs {
+			epIdx := i
+			ep, err := e.pv.NewEndpoint(xport.EndpointConfig{
+				MaxRecvWR:    pr.userParts + 16,
+				OnCompletion: func(p *sim.Proc, c xport.Completion) { pr.onComp(p, epIdx, c) },
 			})
 			if err != nil {
-				panic(fmt.Sprintf("core: receiver CreateQP: %v", err))
+				panic(fmt.Sprintf("core: receiver NewEndpoint: %v", err))
 			}
-			if err := qp.ToInit(); err != nil {
-				panic(err)
+			if err := ep.Connect(sdesc); err != nil {
+				panic(fmt.Sprintf("core: receiver Connect: %v", err))
 			}
-			if err := qp.ToRTR(sqp); err != nil {
-				panic(err)
-			}
-			if err := qp.ToRTS(); err != nil {
-				panic(err)
-			}
-			qpIdx := i
-			e.r.HandleQP(qp, func(p *sim.Proc, wc ibv.WC) { pr.onWC(p, qpIdx, wc) })
-			pr.qps = append(pr.qps, qp)
+			pr.eps = append(pr.eps, ep)
 		}
 	}
 	pr.matched = true
@@ -273,7 +288,19 @@ func (e *Engine) match(pr *Precv, from int, msg sinitMsg) {
 		reqID:   pr.reqID,
 		addr:    pr.mr.Addr(),
 		rkey:    pr.mr.RKey(),
-		qps:     pr.qps,
+		descs:   descsOf(pr.eps),
 	})
 	e.r.Wake()
+}
+
+// descsOf collects the wire descriptors of a set of endpoints.
+func descsOf(eps []xport.Endpoint) []xport.Desc {
+	if len(eps) == 0 {
+		return nil
+	}
+	descs := make([]xport.Desc, len(eps))
+	for i, ep := range eps {
+		descs[i] = ep.Desc()
+	}
+	return descs
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"bytes"
-	"strings"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -20,7 +20,15 @@ type env struct {
 
 func newEnv() *env {
 	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(2)})
-	return &env{w: w, eng: []*Engine{NewEngine(w.Rank(0)), NewEngine(w.Rank(1))}}
+	e := &env{w: w}
+	for i := 0; i < 2; i++ {
+		eng, err := NewEngine(w.Rank(i), "")
+		if err != nil {
+			panic(err)
+		}
+		e.eng = append(e.eng, eng)
+	}
+	return e
 }
 
 func fillBuf(b []byte, seed byte) {
@@ -292,11 +300,11 @@ func TestTimerEarlyBird(t *testing.T) {
 			p.Sleep(2 * time.Millisecond)
 			earlyArrived = true
 			for i := 0; i < parts-1; i++ {
-				if !pr.Parrived(p, i) {
+				if ok, _ := pr.Parrived(p, i); !ok {
 					earlyArrived = false
 				}
 			}
-			laggardEarly = pr.Parrived(p, parts-1)
+			laggardEarly, _ = pr.Parrived(p, parts-1)
 			pr.Wait(p)
 		},
 	)
@@ -348,7 +356,7 @@ func TestPLogGPHoldsBackUntilGroupComplete(t *testing.T) {
 			pr.Start(p)
 			p.Sleep(2 * time.Millisecond)
 			for i := 0; i < parts; i++ {
-				if pr.Parrived(p, i) {
+				if ok, _ := pr.Parrived(p, i); ok {
 					arrivedAt2ms++
 				}
 			}
@@ -423,14 +431,14 @@ func TestParrivedNonBlocking(t *testing.T) {
 			// Immediately after Start nothing has arrived; the call must
 			// return false, not block.
 			before := p.Now()
-			if pr.Parrived(p, 0) {
+			if ok, _ := pr.Parrived(p, 0); ok {
 				t.Error("Parrived true before any Pready")
 			}
 			if p.Now().Sub(before) > 100*time.Microsecond {
 				t.Error("Parrived blocked")
 			}
 			pr.Wait(p)
-			if !pr.Parrived(p, 0) {
+			if ok, _ := pr.Parrived(p, 0); !ok {
 				t.Error("Parrived false after Wait")
 			}
 		},
@@ -538,21 +546,49 @@ func TestInitValidation(t *testing.T) {
 	}
 }
 
-func TestDoublePreadyPanics(t *testing.T) {
+func TestPreadyMisuseErrors(t *testing.T) {
 	e := newEnv()
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		eng := e.eng[r.ID()]
 		if r.ID() == 0 {
 			ps, _ := eng.PsendInit(p, make([]byte, 1024), 4, 1, 0, Options{Strategy: StrategyPLogGP})
 			ps.Start(p)
-			ps.Pready(p, 1)
-			ps.Pready(p, 1)
+			if err := ps.Pready(p, 1); err != nil {
+				t.Errorf("first Pready: %v", err)
+			}
+			if err := ps.Pready(p, 1); !errors.Is(err, ErrPartitionState) {
+				t.Errorf("double Pready: err = %v, want ErrPartitionState", err)
+			}
+			if err := ps.Pready(p, -1); !errors.Is(err, ErrPartitionRange) {
+				t.Errorf("Pready(-1): err = %v, want ErrPartitionRange", err)
+			}
+			if err := ps.Pready(p, 4); !errors.Is(err, ErrPartitionRange) {
+				t.Errorf("Pready(4): err = %v, want ErrPartitionRange", err)
+			}
+			if err := ps.PreadyRange(p, 2, 9); !errors.Is(err, ErrPartitionRange) {
+				t.Errorf("PreadyRange(2,9): err = %v, want ErrPartitionRange", err)
+			}
+			if err := ps.PreadyList(p, []int{2, 2}); !errors.Is(err, ErrPartitionState) {
+				t.Errorf("PreadyList duplicate: err = %v, want ErrPartitionState", err)
+			}
+			// Finish the round so the receiver is not stranded.
+			if err := ps.PreadyRange(p, 0, 4); err != nil && !errors.Is(err, ErrPartitionState) {
+				t.Errorf("final PreadyRange: %v", err)
+			}
+			for i := 0; i < 4; i++ {
+				ps.Pready(p, i)
+			}
+			ps.Wait(p)
 		} else {
 			pr, _ := eng.PrecvInit(p, make([]byte, 1024), 4, 0, 0, Options{})
 			pr.Start(p)
+			if _, err := pr.Parrived(p, 17); !errors.Is(err, ErrPartitionRange) {
+				t.Errorf("Parrived(17): err = %v, want ErrPartitionRange", err)
+			}
+			pr.Wait(p)
 		}
 	})
-	if err == nil || !strings.Contains(err.Error(), "Pready called twice") {
+	if err != nil {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -1,0 +1,16 @@
+package core
+
+import "errors"
+
+// Typed misuse errors returned by the module's public entry points.
+// Internal invariant violations (protocol bugs, impossible completions)
+// still panic; these errors cover what a correct MPI application can get
+// wrong at the call boundary, mirroring MPI_ERR_ARG-class failures.
+var (
+	// ErrPartitionRange reports a partition index or range outside the
+	// request's [0, partitions) space.
+	ErrPartitionRange = errors.New("core: partition index out of range")
+	// ErrPartitionState reports a lifecycle violation on a partition, such
+	// as marking the same partition ready twice in one round.
+	ErrPartitionState = errors.New("core: partition in wrong state")
+)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -42,13 +43,10 @@ func TestPreadyRangeValidation(t *testing.T) {
 			return
 		}
 		ps, _ := e.eng[0].PsendInit(p, make([]byte, 1024), 4, 1, 0, Options{Strategy: StrategyPLogGP})
-		defer func() {
-			if recover() == nil {
-				t.Error("invalid PreadyRange did not panic")
-			}
-			p.Exit()
-		}()
-		ps.PreadyRange(p, 2, 9)
+		if err := ps.PreadyRange(p, 2, 9); !errors.Is(err, ErrPartitionRange) {
+			t.Errorf("invalid PreadyRange: err = %v, want ErrPartitionRange", err)
+		}
+		p.Exit()
 	})
 	if err != nil {
 		t.Fatal(err)

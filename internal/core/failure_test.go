@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -38,8 +39,10 @@ func TestReceiverQPErrorSurfaces(t *testing.T) {
 			}
 			pr.Start(p)
 			// Sabotage: flip the first receive QP to the error state
-			// before data lands.
-			pr.qps[0].SetError()
+			// before data lands. The SPI hides the concrete queue pair,
+			// but Desc exposes it for connection exchange; the verbs
+			// provider's desc supports fault injection.
+			pr.eps[0].Desc().(interface{ SetError() }).SetError()
 			pr.Wait(p)
 		}
 	})
@@ -52,19 +55,21 @@ func TestReceiverQPErrorSurfaces(t *testing.T) {
 	}
 }
 
-// TestPreadyBeforeStartPanics: the MPI standard forbids Pready outside an
-// active round; the implementation treats it as a usage bug.
-func TestPreadyBeforeStartPanics(t *testing.T) {
+// TestPreadyBeforeStartErrors: the MPI standard forbids Pready outside an
+// active round; the implementation reports it as a usage error.
+func TestPreadyBeforeStartErrors(t *testing.T) {
 	e := newEnv()
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		if r.ID() != 0 {
 			return
 		}
 		ps, _ := e.eng[0].PsendInit(p, make([]byte, 1024), 4, 1, 0, Options{Strategy: StrategyPLogGP})
-		ps.Pready(p, 0) // no Start: no groups exist yet
+		if err := ps.Pready(p, 0); !errors.Is(err, ErrPartitionState) {
+			t.Errorf("Pready before Start: err = %v, want ErrPartitionState", err)
+		}
 	})
-	if err == nil {
-		t.Fatal("Pready before Start did not fail")
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+// TestImmBoundaries pins the immediate encoding at the edges of the
+// 16-bit start/count fields, where a shift or truncation bug would bite
+// first.
+func TestImmBoundaries(t *testing.T) {
+	cases := []struct {
+		start, count uint16
+		imm          uint32
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, 1 << 16},
+		{0, 65535, 0x0000ffff},
+		{65535, 0, 0xffff0000},
+		{65535, 65535, 0xffffffff},
+		{1, 65535, 0x0001ffff},
+		{65535, 1, 0xffff0001},
+		{0x1234, 0x5678, 0x12345678},
+	}
+	for _, c := range cases {
+		if got := EncodeImm(c.start, c.count); got != c.imm {
+			t.Errorf("EncodeImm(%d, %d) = %#x, want %#x", c.start, c.count, got, c.imm)
+		}
+		s, n := DecodeImm(c.imm)
+		if s != c.start || n != c.count {
+			t.Errorf("DecodeImm(%#x) = (%d, %d), want (%d, %d)", c.imm, s, n, c.start, c.count)
+		}
+	}
+}
+
+// FuzzImmRoundTrip checks Encode/Decode are inverse over the full
+// 32-bit immediate space, in both directions.
+func FuzzImmRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(65535), uint16(65535))
+	f.Add(uint16(1), uint16(0))
+	f.Add(uint16(0), uint16(1))
+	f.Add(uint16(0x1234), uint16(0x5678))
+	f.Fuzz(func(t *testing.T, start, count uint16) {
+		imm := EncodeImm(start, count)
+		s, c := DecodeImm(imm)
+		if s != start || c != count {
+			t.Fatalf("round trip (%d, %d) -> %#x -> (%d, %d)", start, count, imm, s, c)
+		}
+		// The reverse direction: any 32-bit word decodes to fields that
+		// re-encode to the same word.
+		if re := EncodeImm(DecodeImm(imm)); re != imm {
+			t.Fatalf("re-encode of %#x gave %#x", imm, re)
+		}
+	})
+}

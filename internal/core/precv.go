@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/ibv"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 // Precv is a persistent partitioned receive request.
@@ -14,7 +14,7 @@ type Precv struct {
 	r *mpi.Rank
 
 	buf       []byte
-	mr        *ibv.MR
+	mr        xport.Mem
 	userParts int
 	partBytes int
 	source    int
@@ -26,19 +26,22 @@ type Precv struct {
 	// Filled at match time from the sender's announcement.
 	strategy  Strategy
 	transport int
-	qps       []*ibv.QP
+	eps       []xport.Endpoint
 	matched   bool
 
 	arrived      []bool
 	arrivedCount int
 	round        int
 
-	// availWRs counts receive WRs posted but not yet consumed, per QP;
-	// Start tops each queue up to its worst-case need.
+	// availWRs counts receive WRs posted but not yet consumed, per
+	// endpoint; Start tops each queue up to its worst-case need.
 	availWRs []int
-	// needWRs is Start's per-QP replenish target, computed once (the plan
-	// is fixed after matching) so re-arming allocates nothing.
+	// needWRs is Start's per-endpoint replenish target, computed once (the
+	// plan is fixed after matching) so re-arming allocates nothing.
 	needWRs []int
+	// recvWRs are the cached receive work requests, one per endpoint,
+	// reposted in place (providers keep their converted form in Prep).
+	recvWRs []xport.RecvWR
 }
 
 // PrecvInit initializes a persistent partitioned receive of buf from
@@ -54,7 +57,7 @@ func (e *Engine) PrecvInit(p *sim.Proc, buf []byte, partitions, source, tag int,
 	if source < 0 || source >= e.r.World().Size() {
 		return nil, fmt.Errorf("core: source rank %d out of range", source)
 	}
-	mr, err := e.r.PD().RegMR(buf)
+	mr, err := e.pv.RegMem(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -98,20 +101,23 @@ func (pr *Precv) Start(p *sim.Proc) {
 
 	if pr.strategy != StrategyBaseline {
 		if pr.availWRs == nil {
-			pr.availWRs = make([]int, len(pr.qps))
-			pr.needWRs = make([]int, len(pr.qps))
+			pr.availWRs = make([]int, len(pr.eps))
+			pr.needWRs = make([]int, len(pr.eps))
+			pr.recvWRs = make([]xport.RecvWR, len(pr.eps))
 			groupSize := pr.userParts / pr.transport
 			for g := 0; g < pr.transport; g++ {
-				pr.needWRs[g%len(pr.qps)] += groupSize
+				pr.needWRs[g%len(pr.eps)] += groupSize
+			}
+			for q := range pr.recvWRs {
+				pr.recvWRs[q] = xport.RecvWR{WRID: uint64(pr.reqID)<<32 | uint64(q)}
 			}
 		}
 		need := pr.needWRs
 		recvPost := pr.r.World().Costs().RecvPostOverhead
-		for q, qp := range pr.qps {
+		for q, ep := range pr.eps {
 			for pr.availWRs[q] < need[q] {
 				p.Sleep(recvPost)
-				err := qp.PostRecv(ibv.RecvWR{WRID: uint64(pr.reqID)<<32 | uint64(q)})
-				if err != nil {
+				if err := ep.PostRecv(&pr.recvWRs[q]); err != nil {
 					panic(fmt.Sprintf("core: PostRecv: %v", err))
 				}
 				pr.availWRs[q]++
@@ -121,18 +127,18 @@ func (pr *Precv) Start(p *sim.Proc) {
 	pr.r.SendCtrl(pr.source, ctrlCredit, creditMsg{peerReq: pr.peerReq})
 }
 
-// onWC handles an arriving transport partition (receive-CQ completion on
-// one of the request's QPs): the immediate encodes which contiguous user
-// partitions the WR carried.
-func (pr *Precv) onWC(p *sim.Proc, qpIdx int, wc ibv.WC) {
-	if wc.Status != ibv.StatusSuccess {
-		panic(fmt.Sprintf("core: receive completion error on rank %d: %v", pr.r.ID(), wc.Status))
+// onComp handles an arriving transport partition (receive completion on
+// one of the request's endpoints): the immediate encodes which contiguous
+// user partitions the WR carried.
+func (pr *Precv) onComp(p *sim.Proc, epIdx int, c xport.Completion) {
+	if !c.OK() {
+		panic(fmt.Sprintf("core: receive completion error on rank %d: %v", pr.r.ID(), c.Status))
 	}
-	if wc.Opcode != ibv.WCRecvRDMAWithImm || !wc.HasImm {
-		panic(fmt.Sprintf("core: unexpected receive completion %+v", wc))
+	if c.Op != xport.CompRecvImm || !c.HasImm {
+		panic(fmt.Sprintf("core: unexpected receive completion %+v", c))
 	}
-	start, count := DecodeImm(wc.Imm)
-	pr.availWRs[qpIdx]--
+	start, count := DecodeImm(c.Imm)
+	pr.availWRs[epIdx]--
 	pr.markArrived(int(start), int(count))
 }
 
@@ -153,16 +159,17 @@ func (pr *Precv) markArrived(start, count int) {
 
 // Parrived reports whether user partition i has arrived, progressing the
 // library once if it has not — the paper's design: check the flag, and if
-// unset try to acquire the progress lock (Section IV-A).
-func (pr *Precv) Parrived(p *sim.Proc, i int) bool {
+// unset try to acquire the progress lock (Section IV-A). It returns
+// ErrPartitionRange when i is outside [0, partitions).
+func (pr *Precv) Parrived(p *sim.Proc, i int) (bool, error) {
 	if i < 0 || i >= pr.userParts {
-		panic(fmt.Sprintf("core: Parrived partition %d out of range [0,%d)", i, pr.userParts))
+		return false, fmt.Errorf("%w: Parrived partition %d outside [0,%d)", ErrPartitionRange, i, pr.userParts)
 	}
 	if pr.arrived[i] {
-		return true
+		return true, nil
 	}
 	pr.r.Progress(p)
-	return pr.arrived[i]
+	return pr.arrived[i], nil
 }
 
 // done reports whether every partition of the round has arrived.

@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/ibv"
 	"repro/internal/loggp"
 	"repro/internal/mpi"
 	"repro/internal/ploggp"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 // defaultModel returns the PLogGP model with the Niagara-measured
@@ -22,7 +22,7 @@ type Psend struct {
 	plan Plan
 
 	buf       []byte
-	mr        *ibv.MR
+	mr        xport.Mem
 	userParts int
 	partBytes int
 	dest      int
@@ -31,11 +31,11 @@ type Psend struct {
 	reqID   uint32
 	peerReq uint32
 
-	qps []*ibv.QP
-	// qpLocks serialize concurrent Pready posters per queue pair; unlike
+	eps []xport.Endpoint
+	// epLocks serialize concurrent Pready posters per endpoint; unlike
 	// the baseline's library-wide lock, contention only arises between
-	// group-completing threads that share a QP.
-	qpLocks []*sim.Resource
+	// group-completing threads that share an endpoint.
+	epLocks []*sim.Resource
 	// flagLock models the contended cache line of the arrival-flag array:
 	// concurrent Pready callers take turns on the atomic add-and-fetch,
 	// the effect the paper points to when explaining why minimum delta
@@ -53,11 +53,13 @@ type Psend struct {
 	postedWRs    int
 	completedWRs int
 
-	// sgeScratch backs the one-element gather list of every posted WR.
+	// segScratch backs the one-element gather list of every posted WR.
 	// PostSend consumes the gather list synchronously (no park between
 	// filling the scratch and the post), so one scratch per request
 	// suffices and postRun allocates no slice per WR.
-	sgeScratch [1]ibv.SGE
+	segScratch [1]xport.Seg
+	// wrScratch is the reusable work request postRun posts through.
+	wrScratch xport.SendWR
 }
 
 // sendGroup is the per-transport-partition send state for one round.
@@ -75,7 +77,7 @@ type sendGroup struct {
 
 // PsendInit initializes a persistent partitioned send of buf, split into
 // the given number of equal user partitions, to (dest, tag). Everything
-// here is non-blocking: queue-pair connection and matching complete
+// here is non-blocking: endpoint connection and matching complete
 // asynchronously, and the first Start polls until the remote buffer is
 // ready (paper Section IV-A).
 func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, opts Options) (*Psend, error) {
@@ -92,7 +94,7 @@ func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, o
 	if err != nil {
 		return nil, err
 	}
-	mr, err := e.r.PD().RegMR(buf)
+	mr, err := e.pv.RegMem(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -113,25 +115,20 @@ func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, o
 	e.psends[ps.reqID] = ps
 
 	if opts.Strategy != StrategyBaseline {
-		// Transport partitions spread over the plan's QPs; the SQ must
-		// hold a worst-case round (every user partition its own WR under
-		// the timer strategy).
+		// Transport partitions spread over the plan's endpoints; the SQ
+		// must hold a worst-case round (every user partition its own WR
+		// under the timer strategy).
 		for i := 0; i < plan.QPs; i++ {
-			qp, err := e.r.PD().CreateQP(ibv.QPConfig{
-				SendCQ:         e.r.SendCQ(),
-				RecvCQ:         e.r.RecvCQ(),
+			ep, err := e.pv.NewEndpoint(xport.EndpointConfig{
 				MaxSendWR:      partitions + 16,
 				MaxOutstanding: opts.MaxOutstandingPerQP,
+				OnCompletion:   ps.onSendComp,
 			})
 			if err != nil {
 				return nil, err
 			}
-			if err := qp.ToInit(); err != nil {
-				return nil, err
-			}
-			e.r.HandleQP(qp, ps.onSendWC)
-			ps.qps = append(ps.qps, qp)
-			ps.qpLocks = append(ps.qpLocks, sim.NewResource(e.r.World().Engine(), 1))
+			ps.eps = append(ps.eps, ep)
+			ps.epLocks = append(ps.epLocks, sim.NewResource(e.r.World().Engine(), 1))
 		}
 	}
 	e.r.SendCtrl(dest, ctrlSinit, sinitMsg{
@@ -141,7 +138,7 @@ func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, o
 		bytes:     len(buf),
 		strategy:  opts.Strategy,
 		transport: plan.Transport,
-		qps:       ps.qps,
+		descs:     descsOf(ps.eps),
 	})
 	return ps, nil
 }
@@ -153,15 +150,12 @@ func (ps *Psend) completeHandshake(msg rinitMsg) {
 	ps.remoteAddr = msg.addr
 	ps.remoteRKey = msg.rkey
 	if ps.opts.Strategy != StrategyBaseline {
-		if len(msg.qps) != len(ps.qps) {
-			panic(fmt.Sprintf("core: QP count mismatch in handshake: %d vs %d", len(msg.qps), len(ps.qps)))
+		if len(msg.descs) != len(ps.eps) {
+			panic(fmt.Sprintf("core: endpoint count mismatch in handshake: %d vs %d", len(msg.descs), len(ps.eps)))
 		}
-		for i, qp := range ps.qps {
-			if err := qp.ToRTR(msg.qps[i]); err != nil {
-				panic(err)
-			}
-			if err := qp.ToRTS(); err != nil {
-				panic(err)
+		for i, ep := range ps.eps {
+			if err := ep.Connect(msg.descs[i]); err != nil {
+				panic(fmt.Sprintf("core: sender Connect: %v", err))
 			}
 		}
 	}
@@ -214,10 +208,15 @@ func (ps *Psend) Start(p *sim.Proc) {
 }
 
 // Pready marks user partition i ready for transfer (callable from any
-// thread of the parallel region).
-func (ps *Psend) Pready(p *sim.Proc, i int) {
+// thread of the parallel region). It returns ErrPartitionRange when i is
+// outside [0, partitions) and ErrPartitionState when i was already marked
+// ready this round.
+func (ps *Psend) Pready(p *sim.Proc, i int) error {
 	if i < 0 || i >= ps.userParts {
-		panic(fmt.Sprintf("core: Pready partition %d out of range [0,%d)", i, ps.userParts))
+		return fmt.Errorf("%w: Pready partition %d outside [0,%d)", ErrPartitionRange, i, ps.userParts)
+	}
+	if ps.round == 0 {
+		return fmt.Errorf("%w: Pready before Start", ErrPartitionState)
 	}
 	if ps.opts.Observer != nil {
 		ps.opts.Observer.PreadyCalled(ps.round, i, p.Now())
@@ -230,42 +229,49 @@ func (ps *Psend) Pready(p *sim.Proc, i int) {
 
 	if ps.opts.Strategy == StrategyBaseline {
 		ps.baselinePready(p, i)
-		return
+		return nil
 	}
 	g := ps.groups[ps.plan.groupOf(i)]
 	gi := i - g.start
 	if g.ready[gi] {
-		panic(fmt.Sprintf("core: Pready called twice for partition %d in round %d", i, ps.round))
+		return fmt.Errorf("%w: Pready called twice for partition %d in round %d", ErrPartitionState, i, ps.round)
 	}
 	g.ready[gi] = true
 	g.arrived++
 
 	if ps.opts.Strategy == StrategyTimerPLogGP {
 		ps.timerPready(p, g, gi)
-		return
+		return nil
 	}
 	// Tuning-table and PLogGP aggregators: post the group's single WR
 	// when every member partition has arrived.
 	if g.arrived == g.size {
 		ps.postRun(p, g, 0, g.size)
 	}
+	return nil
 }
 
 // PreadyRange marks partitions [lo, hi) ready, as MPI_Pready_range does.
-func (ps *Psend) PreadyRange(p *sim.Proc, lo, hi int) {
+func (ps *Psend) PreadyRange(p *sim.Proc, lo, hi int) error {
 	if lo < 0 || hi > ps.userParts || lo > hi {
-		panic(fmt.Sprintf("core: PreadyRange [%d,%d) invalid for %d partitions", lo, hi, ps.userParts))
+		return fmt.Errorf("%w: PreadyRange [%d,%d) invalid for %d partitions", ErrPartitionRange, lo, hi, ps.userParts)
 	}
 	for i := lo; i < hi; i++ {
-		ps.Pready(p, i)
+		if err := ps.Pready(p, i); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // PreadyList marks the listed partitions ready, as MPI_Pready_list does.
-func (ps *Psend) PreadyList(p *sim.Proc, parts []int) {
+func (ps *Psend) PreadyList(p *sim.Proc, parts []int) error {
 	for _, i := range parts {
-		ps.Pready(p, i)
+		if err := ps.Pready(p, i); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // PbufPrepare blocks until the receiver's buffer is known to be ready for
@@ -279,13 +285,15 @@ func (ps *Psend) PbufPrepare(p *sim.Proc) {
 }
 
 // baselinePready sends partition i as its own message through the
-// UCX-like layer, holding the library's post lock for the duration of the
-// protocol send path — the lock contention the paper's 128-partition runs
-// expose.
+// active-message layer, holding the library's post lock for the duration
+// of the protocol send path — the lock contention the paper's
+// 128-partition runs expose.
 func (ps *Psend) baselinePready(p *sim.Proc, i int) {
 	lock := ps.r.PostLock()
 	lock.Acquire(p)
-	ps.e.ucx.SendMR(p, ps.dest, baselineHeader(ps.peerReq, i), ps.mr, i*ps.partBytes, ps.partBytes)
+	if err := ps.e.msgr.SendMR(p, ps.dest, baselineHeader(ps.peerReq, i), ps.mr, i*ps.partBytes, ps.partBytes); err != nil {
+		panic(fmt.Sprintf("core: baseline SendMR: %v", err))
+	}
 	p.Sleep(ps.r.World().Costs().PostLockHold)
 	lock.Release()
 	ps.sentParts++
@@ -304,25 +312,26 @@ func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) {
 	first := g.start + lo
 	bytes := count * ps.partBytes
 	off := first * ps.partBytes
-	qpIdx := ps.plan.qpOf(ps.plan.groupOf(g.start))
-	qp := ps.qps[qpIdx]
+	epIdx := ps.plan.qpOf(ps.plan.groupOf(g.start))
+	ep := ps.eps[epIdx]
 
 	// The WR was pre-built at init time (Section IV-B); posting is a
-	// doorbell under the QP's lock.
-	lock := ps.qpLocks[qpIdx]
+	// doorbell under the endpoint's lock.
+	lock := ps.epLocks[epIdx]
 	lock.Acquire(p)
 	p.Sleep(ps.r.World().Costs().PostOverhead)
-	ps.sgeScratch[0] = ps.mr.SGEFor(off, bytes)
-	err := qp.PostSend(ibv.SendWR{
+	ps.segScratch[0] = xport.Seg{Mem: ps.mr, Off: off, Len: bytes}
+	ps.wrScratch = xport.SendWR{
 		WRID:       uint64(ps.reqID)<<32 | uint64(uint32(first)),
-		Opcode:     ibv.OpRDMAWriteImm,
-		SGList:     ps.sgeScratch[:],
+		Op:         xport.OpWriteImm,
+		Segs:       ps.segScratch[:],
 		RemoteAddr: ps.remoteAddr + uint64(off),
 		RKey:       ps.remoteRKey,
 		Imm:        EncodeImm(uint16(first), uint16(count)),
 		Signaled:   true,
-		Inline:     ps.opts.UseInline && bytes <= qp.MaxInline(),
-	})
+		Inline:     ps.opts.UseInline && bytes <= ep.MaxInline(),
+	}
+	err := ep.PostSend(&ps.wrScratch)
 	lock.Release()
 	if err != nil {
 		panic(fmt.Sprintf("core: PostSend transport partition: %v", err))
@@ -332,10 +341,10 @@ func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) {
 	ps.r.Wake()
 }
 
-// onSendWC accounts a completed transport-partition WR.
-func (ps *Psend) onSendWC(p *sim.Proc, wc ibv.WC) {
-	if wc.Status != ibv.StatusSuccess {
-		panic(fmt.Sprintf("core: send completion error on rank %d: %v", ps.r.ID(), wc.Status))
+// onSendComp accounts a completed transport-partition WR.
+func (ps *Psend) onSendComp(p *sim.Proc, c xport.Completion) {
+	if !c.OK() {
+		panic(fmt.Sprintf("core: send completion error on rank %d: %v", ps.r.ID(), c.Status))
 	}
 	ps.completedWRs++
 }
@@ -344,7 +353,7 @@ func (ps *Psend) onSendWC(p *sim.Proc, wc ibv.WC) {
 // sender: every partition sent and every posted WR acknowledged.
 func (ps *Psend) done() bool {
 	if ps.opts.Strategy == StrategyBaseline {
-		return ps.sentParts == ps.userParts && ps.e.ucx.Quiescent()
+		return ps.sentParts == ps.userParts && ps.e.msgr.Quiescent()
 	}
 	return ps.sentParts == ps.userParts && ps.completedWRs == ps.postedWRs
 }

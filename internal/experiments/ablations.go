@@ -37,6 +37,7 @@ func AblationInline(cfg Config) ([]*stats.Table, error) {
 					TransportParts: parts, // per-partition WRs so inline can apply
 					UseInline:      inline,
 				},
+				Provider: cfg.Provider,
 			})
 		}
 	}
@@ -81,6 +82,7 @@ func AblationWindow(cfg Config) ([]*stats.Table, error) {
 					QPs:                 1,
 					MaxOutstandingPerQP: w,
 				},
+				Provider: cfg.Provider,
 			})
 		}
 	}
@@ -124,6 +126,7 @@ func AblationModel(cfg Config) ([]*stats.Table, error) {
 			Warmup:   warmupFor(cfg, 5),
 			Iters:    itersFor(cfg, 10),
 			Opts:     core.Options{Strategy: core.StrategyPLogGP},
+			Provider: cfg.Provider,
 		}
 	}
 	results, err := cfg.runP2PGrid(jobs, nil)
@@ -169,9 +172,10 @@ func AblationTimer(cfg Config) ([]*stats.Table, error) {
 		jobs[i] = bench.P2PConfig{
 			Parts: parts, Bytes: size,
 			Compute: 100 * time.Millisecond, NoisePct: 4,
-			Warmup: warmupFor(cfg, 5),
-			Iters:  itersFor(cfg, 10),
-			Opts:   opts,
+			Warmup:   warmupFor(cfg, 5),
+			Iters:    itersFor(cfg, 10),
+			Opts:     opts,
+			Provider: cfg.Provider,
 		}
 	}
 	results, err := cfg.runP2PGrid(jobs, nil)

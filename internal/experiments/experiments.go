@@ -38,6 +38,9 @@ type Config struct {
 	// simulation, so tables are byte-identical for any value. Zero or
 	// negative selects GOMAXPROCS; 1 forces the serial path.
 	Jobs int
+	// Provider selects the transport backend the benchmarks run over
+	// ("verbs", "ucx", "shm"); empty means the default verbs provider.
+	Provider string
 }
 
 func (c Config) progress(format string, args ...any) {
@@ -219,7 +222,7 @@ func overheadConfig(cfg Config, parts, size int, opts core.Options) bench.P2PCon
 	warmup, iters := cfg.iterCounts()
 	return bench.P2PConfig{
 		Parts: parts, Bytes: size, Warmup: warmup, Iters: iters,
-		Opts: opts,
+		Opts: opts, Provider: cfg.Provider,
 	}
 }
 
@@ -404,6 +407,7 @@ func perceivedConfig(cfg Config, parts, size int, opts core.Options) bench.P2PCo
 		Warmup:          warmup,
 		Iters:           iters,
 		Opts:            opts,
+		Provider:        cfg.Provider,
 	}
 }
 
@@ -634,6 +638,7 @@ func Fig14(cfg Config) ([]*stats.Table, error) {
 					Warmup:   warmup,
 					Iters:    iters,
 					Opts:     opts,
+					Provider: cfg.Provider,
 				})
 			}
 		}

@@ -42,6 +42,7 @@ func Halo(cfg Config) ([]*stats.Table, error) {
 				Warmup:   warmup,
 				Iters:    iters,
 				Opts:     opts,
+				Provider: cfg.Provider,
 			})
 		}
 	}

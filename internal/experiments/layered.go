@@ -42,12 +42,13 @@ func AblationLayered(cfg Config) ([]*stats.Table, error) {
 		func(i int) (pair, error) {
 			base, err := bench.RunP2P(bench.P2PConfig{
 				Parts: parts, Bytes: sizes[i], Warmup: warmup, Iters: iters,
-				Opts: core.Options{Strategy: core.StrategyBaseline},
+				Opts:     core.Options{Strategy: core.StrategyBaseline},
+				Provider: cfg.Provider,
 			})
 			if err != nil {
 				return pair{}, err
 			}
-			layered, err := runLayeredOverhead(parts, sizes[i], warmup, iters)
+			layered, err := runLayeredOverhead(cfg.Provider, parts, sizes[i], warmup, iters)
 			if err != nil {
 				return pair{}, err
 			}
@@ -70,9 +71,22 @@ func AblationLayered(cfg Config) ([]*stats.Table, error) {
 
 // runLayeredOverhead is the overhead benchmark driven through the layered
 // implementation.
-func runLayeredOverhead(parts, size, warmup, iters int) (time.Duration, error) {
-	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(2)})
-	comms := []*pt2pt.Comm{pt2pt.New(w.Rank(0), nil), pt2pt.New(w.Rank(1), nil)}
+func runLayeredOverhead(provider string, parts, size, warmup, iters int) (time.Duration, error) {
+	wcfg := mpi.Config{Cluster: cluster.NiagaraConfig(2)}
+	if provider == "shm" {
+		// An intra-node provider cannot cross the fabric: place both
+		// ranks on one node.
+		wcfg = mpi.Config{Cluster: cluster.NiagaraConfig(1), RanksPerNode: 2}
+	}
+	w := mpi.NewWorld(wcfg)
+	comms := make([]*pt2pt.Comm, 2)
+	for i := range comms {
+		c, err := pt2pt.New(w.Rank(i), provider)
+		if err != nil {
+			return 0, err
+		}
+		comms[i] = c
+	}
 	src := make([]byte, size)
 	dst := make([]byte, size)
 	total := warmup + iters

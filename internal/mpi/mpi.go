@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -97,8 +98,15 @@ func (w *World) takeEnv() *ctrlEnvelope {
 
 // putEnv returns an unpacked envelope to the free list.
 func (w *World) putEnv(env *ctrlEnvelope) {
-	env.kind, env.from, env.data = "", 0, nil
+	env.kind, env.from, env.to, env.data = "", 0, nil, nil
 	w.envFree = append(w.envFree, env)
+}
+
+// onCtrl is the per-node port handler: it routes an arriving control
+// envelope to its destination rank (several ranks may share the port).
+func (w *World) onCtrl(_ *fabric.Port, payload any) {
+	env := payload.(*ctrlEnvelope)
+	env.to.onCtrl(env)
 }
 
 // NewWorld builds the job and its ranks. It panics on invalid
@@ -116,6 +124,7 @@ func NewWorld(cfg Config) *World {
 	c := cluster.New(cfg.Cluster)
 	w := &World{cluster: c, costs: cfg.Costs}
 	for n, node := range c.Nodes {
+		node.HCA.Port().SetControlHandler(w.onCtrl)
 		for j := 0; j < cfg.RanksPerNode; j++ {
 			w.ranks = append(w.ranks, newRank(w, n*cfg.RanksPerNode+j, node))
 		}

@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/ibv"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 func twoNodeWorld() *World {
@@ -157,52 +157,52 @@ func TestProgressTryLock(t *testing.T) {
 	w := twoNodeWorld()
 	r0, r1 := w.Rank(0), w.Rank(1)
 
-	// Wire a QP pair between rank 0 and rank 1 carrying one completion.
+	// Wire an endpoint pair between rank 0 and rank 1 carrying one
+	// completion, through the provider SPI.
+	pv0, err := r0.Provider("verbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv1, err := r1.Provider("verbs")
+	if err != nil {
+		t.Fatal(err)
+	}
 	buf := make([]byte, 64)
-	mr0, err := r0.PD().RegMR(buf)
+	mr0, err := pv0.RegMem(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	buf1 := make([]byte, 64)
-	mr1, err := r1.PD().RegMR(buf1)
+	mr1, err := pv1.RegMem(buf1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qp0, err := r0.PD().CreateQP(ibv.QPConfig{SendCQ: r0.SendCQ(), RecvCQ: r0.RecvCQ()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	qp1, err := r1.PD().CreateQP(ibv.QPConfig{SendCQ: r1.SendCQ(), RecvCQ: r1.RecvCQ()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, qp := range []*ibv.QP{qp0, qp1} {
-		if err := qp.ToInit(); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := qp0.ToRTR(qp1); err != nil {
-		t.Fatal(err)
-	}
-	if err := qp1.ToRTR(qp0); err != nil {
-		t.Fatal(err)
-	}
-	for _, qp := range []*ibv.QP{qp0, qp1} {
-		if err := qp.ToRTS(); err != nil {
-			t.Fatal(err)
-		}
-	}
-
 	handled := 0
-	r1.HandleQP(qp1, func(p *sim.Proc, wc ibv.WC) { handled++ })
-	r0.HandleQP(qp0, func(p *sim.Proc, wc ibv.WC) {})
-
-	if err := qp1.PostRecv(ibv.RecvWR{}); err != nil {
+	ep0, err := pv0.NewEndpoint(xport.EndpointConfig{
+		OnCompletion: func(p *sim.Proc, c xport.Completion) {},
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	err = qp0.PostSend(ibv.SendWR{
-		Opcode:     ibv.OpRDMAWriteImm,
-		SGList:     []ibv.SGE{mr0.SGEFor(0, 64)},
+	ep1, err := pv1.NewEndpoint(xport.EndpointConfig{
+		OnCompletion: func(p *sim.Proc, c xport.Completion) { handled++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Connect(ep1.Desc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Connect(ep0.Desc()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ep1.PostRecv(&xport.RecvWR{}); err != nil {
+		t.Fatal(err)
+	}
+	err = ep0.PostSend(&xport.SendWR{
+		Op:         xport.OpWriteImm,
+		Segs:       []xport.Seg{{Mem: mr0, Off: 0, Len: 64}},
 		RemoteAddr: mr1.Addr(),
 		RKey:       mr1.RKey(),
 		Imm:        1,

@@ -5,30 +5,40 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/fabric"
-	"repro/internal/ibv"
 	"repro/internal/sim"
+	"repro/internal/xport"
+
+	// Register the built-in transport providers so every world can resolve
+	// them by name. The ucx provider registers via the verbs package's
+	// import graph.
+	_ "repro/internal/xport/shm"
+	_ "repro/internal/xport/verbs"
 )
 
-// ctrlEnvelope is the wire format of control-plane messages.
+// ctrlEnvelope is the wire format of control-plane messages. Delivery is
+// per destination port; to routes the message to the right rank when
+// several share a node.
 type ctrlEnvelope struct {
 	kind string
 	from int
+	to   *Rank
 	data any
 }
 
-// Rank is one MPI process. All verbs resources of a rank hang off a single
-// device context and protection domain, with one send and one receive CQ
-// shared by every QP the rank creates — the layout the paper's module uses.
+// Rank is one MPI process. Transport resources hang off provider
+// instances resolved by name from the xport registry; each provider's
+// completions are drained by the rank's single progress engine.
 type Rank struct {
 	w    *World
 	id   int
 	node *cluster.Node
 
-	ctx    *ibv.Context
-	pd     *ibv.PD
-	sendCQ *ibv.CQ
-	recvCQ *ibv.CQ
+	// providers memoizes backend instances by registry name so every
+	// module on the rank shares one device context per backend.
+	providers map[string]xport.Provider
+	// sources are the providers' completion queues, drained in
+	// registration order by Progress.
+	sources []xport.ProgressSource
 
 	// progressBusy implements the paper's single-threaded progress engine:
 	// MPI_Parrived "tries to acquire a lock; if successful it progresses
@@ -39,7 +49,6 @@ type Rank struct {
 	// messages arrive.
 	activity *sim.Cond
 
-	wcHandlers   map[uint32]func(p *sim.Proc, wc ibv.WC)
 	ctrlHandlers map[string]func(from int, data any)
 
 	// postLock serializes the library's post path (per-endpoint critical
@@ -53,27 +62,20 @@ type Rank struct {
 	ctrlHandled int64
 }
 
+// Rank hosts transport providers.
+var _ xport.Host = (*Rank)(nil)
+
 func newRank(w *World, id int, node *cluster.Node) *Rank {
-	ctx := node.HCA.Open()
 	r := &Rank{
 		w:            w,
 		id:           id,
 		node:         node,
-		ctx:          ctx,
-		pd:           ctx.AllocPD(),
-		sendCQ:       ctx.CreateCQ(1 << 16),
-		recvCQ:       ctx.CreateCQ(1 << 16),
+		providers:    make(map[string]xport.Provider),
 		activity:     sim.NewCond(w.Engine()),
-		wcHandlers:   make(map[uint32]func(*sim.Proc, ibv.WC)),
 		ctrlHandlers: make(map[string]func(int, any)),
 		postLock:     sim.NewResource(w.Engine(), 1),
 		barrier:      &barrierState{release: sim.NewCond(w.Engine())},
 	}
-	node.HCA.Port().SetControlHandler(r.onCtrl)
-	// Completions arriving on either CQ wake procs blocked in WaitOn, as a
-	// completion channel would.
-	r.sendCQ.SetNotify(r.activity.Broadcast)
-	r.recvCQ.SetNotify(r.activity.Broadcast)
 	r.initBarrierHandlers()
 	return r
 }
@@ -87,17 +89,37 @@ func (r *Rank) World() *World { return r.w }
 // Node returns the compute node hosting the rank.
 func (r *Rank) Node() *cluster.Node { return r.node }
 
-// PD returns the rank's protection domain.
-func (r *Rank) PD() *ibv.PD { return r.pd }
+// Engine returns the simulation engine driving the job.
+func (r *Rank) Engine() *sim.Engine { return r.w.Engine() }
 
-// Context returns the rank's device context.
-func (r *Rank) Context() *ibv.Context { return r.ctx }
+// Hardware exposes the compute node for providers to downcast; the verbs
+// provider expects a *cluster.Node carrying the HCA.
+func (r *Rank) Hardware() any { return r.node }
 
-// SendCQ returns the CQ shared by all send queues of the rank.
-func (r *Rank) SendCQ() *ibv.CQ { return r.sendCQ }
+// CompletionCost is the CPU time the progress engine charges per drained
+// completion.
+func (r *Rank) CompletionCost() time.Duration { return r.w.costs.WCProcess }
 
-// RecvCQ returns the CQ shared by all receive queues of the rank.
-func (r *Rank) RecvCQ() *ibv.CQ { return r.recvCQ }
+// AddProgressSource hooks a provider's completion queues into the rank's
+// progress engine. Sources are drained in registration order.
+func (r *Rank) AddProgressSource(s xport.ProgressSource) {
+	r.sources = append(r.sources, s)
+}
+
+// Provider resolves (and memoizes) the named transport backend for this
+// rank. All modules on the rank share the instance, so they share its
+// device context, protection domain, and completion queues.
+func (r *Rank) Provider(name string) (xport.Provider, error) {
+	if pv, ok := r.providers[name]; ok {
+		return pv, nil
+	}
+	pv, err := xport.NewProvider(name, r)
+	if err != nil {
+		return nil, err
+	}
+	r.providers[name] = pv
+	return pv, nil
+}
 
 // Compute runs d of single-core application work (queuing for a core).
 func (r *Rank) Compute(p *sim.Proc, d time.Duration) {
@@ -106,12 +128,6 @@ func (r *Rank) Compute(p *sim.Proc, d time.Duration) {
 
 // WCProcessed reports completions drained by this rank's progress engine.
 func (r *Rank) WCProcessed() int64 { return r.wcProcessed }
-
-// HandleQP routes completions carrying the QP's number (on either CQ) to
-// fn. Completions for unregistered QPs panic: they indicate a runtime bug.
-func (r *Rank) HandleQP(qp *ibv.QP, fn func(p *sim.Proc, wc ibv.WC)) {
-	r.wcHandlers[qp.QPN()] = fn
-}
 
 // HandleCtrl registers the handler for control messages of the given kind.
 func (r *Rank) HandleCtrl(kind string, fn func(from int, data any)) {
@@ -126,14 +142,13 @@ func (r *Rank) HandleCtrl(kind string, fn func(from int, data any)) {
 func (r *Rank) SendCtrl(dst int, kind string, data any) {
 	dstRank := r.w.ranks[dst]
 	env := r.w.takeEnv()
-	env.kind, env.from, env.data = kind, r.id, data
+	env.kind, env.from, env.to, env.data = kind, r.id, dstRank, data
 	r.node.HCA.Port().SendControl(dstRank.node.HCA.Port(), env)
 }
 
 // onCtrl dispatches an arriving control message. Handlers run at event
 // context (no proc): they must only do bookkeeping and wake waiters.
-func (r *Rank) onCtrl(_ *fabric.Port, payload any) {
-	env := payload.(*ctrlEnvelope)
+func (r *Rank) onCtrl(env *ctrlEnvelope) {
 	h, ok := r.ctrlHandlers[env.kind]
 	if !ok {
 		panic(fmt.Sprintf("mpi: rank %d: no handler for control kind %q", r.id, env.kind))
@@ -145,36 +160,20 @@ func (r *Rank) onCtrl(_ *fabric.Port, payload any) {
 	r.activity.Broadcast()
 }
 
-// Progress drains both CQs, charging WCProcess per completion and
-// dispatching each to its QP handler. It returns false immediately if
-// another thread holds the progress lock (the paper's try-lock), and
-// reports whether any completion was processed otherwise.
+// Progress drains every provider's completion queues. It returns false
+// immediately if another thread holds the progress lock (the paper's
+// try-lock), and reports whether any completion was processed otherwise.
 func (r *Rank) Progress(p *sim.Proc) bool {
 	if r.progressBusy {
 		return false
 	}
 	r.progressBusy = true
 	worked := false
-	var wcs [64]ibv.WC
-	for {
-		n := r.recvCQ.Poll(wcs[:])
-		if n == 0 {
-			n = r.sendCQ.Poll(wcs[:])
+	for _, s := range r.sources {
+		if n := s.Progress(p); n > 0 {
+			r.wcProcessed += int64(n)
+			worked = true
 		}
-		if n == 0 {
-			break
-		}
-		for _, wc := range wcs[:n] {
-			p.Sleep(r.w.costs.WCProcess)
-			r.wcProcessed++
-			h, ok := r.wcHandlers[wc.QPN]
-			if !ok {
-				r.progressBusy = false
-				panic(fmt.Sprintf("mpi: rank %d: completion for unregistered QPN %d: %+v", r.id, wc.QPN, wc))
-			}
-			h(p, wc)
-		}
-		worked = true
 	}
 	r.progressBusy = false
 	if worked {

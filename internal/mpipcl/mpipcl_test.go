@@ -18,10 +18,15 @@ type env struct {
 
 func newEnv() *env {
 	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(2)})
-	return &env{w: w, cs: []*pt2pt.Comm{
-		pt2pt.New(w.Rank(0), nil),
-		pt2pt.New(w.Rank(1), nil),
-	}}
+	e := &env{w: w}
+	for i := 0; i < 2; i++ {
+		c, err := pt2pt.New(w.Rank(i), "")
+		if err != nil {
+			panic(err)
+		}
+		e.cs = append(e.cs, c)
+	}
+	return e
 }
 
 func TestLayeredRoundTrip(t *testing.T) {

@@ -22,11 +22,10 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/ibv"
 	"repro/internal/loggp"
 	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/ucx"
+	"repro/internal/xport"
 )
 
 // Config controls the measurement.
@@ -91,17 +90,31 @@ func Run(cfg Config) (loggp.Params, error) {
 		clCfg = *cfg.Cluster
 	}
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
-	t0 := ucx.New(w.Rank(0), ucx.Config{})
-	t1 := ucx.New(w.Rank(1), ucx.Config{})
+	pv0, err := w.Rank(0).Provider("verbs")
+	if err != nil {
+		return loggp.Params{}, err
+	}
+	pv1, err := w.Rank(1).Provider("verbs")
+	if err != nil {
+		return loggp.Params{}, err
+	}
+	t0, err := pv0.NewMessenger(xport.MessengerConfig{})
+	if err != nil {
+		return loggp.Params{}, err
+	}
+	t1, err := pv1.NewMessenger(xport.MessengerConfig{})
+	if err != nil {
+		return loggp.Params{}, err
+	}
 
 	maxBytes := cfg.SlopeB
 	buf0 := make([]byte, maxBytes)
 	buf1 := make([]byte, maxBytes)
-	mr0, err := w.Rank(0).PD().RegMR(buf0)
+	mr0, err := pv0.RegMem(buf0)
 	if err != nil {
 		return loggp.Params{}, err
 	}
-	mr1, err := w.Rank(1).PD().RegMR(buf1)
+	mr1, err := pv1.RegMem(buf1)
 	if err != nil {
 		return loggp.Params{}, err
 	}
@@ -118,7 +131,7 @@ func Run(cfg Config) (loggp.Params, error) {
 		}
 	})
 	t0.SetRndv(
-		func(from int, header uint64, size int) (*ibv.MR, int, bool) { return mr0, 0, true },
+		func(from int, header uint64, size int) (xport.Mem, int, bool) { return mr0, 0, true },
 		func(from int, header uint64, size int) {
 			if header == hdrPong {
 				pongs++
@@ -128,7 +141,7 @@ func Run(cfg Config) (loggp.Params, error) {
 
 	// Rank 1 is an echo/absorb server.
 	echo := func(p *sim.Proc, size int) {
-		t1.SendMR(p, 0, hdrPong, mr1, 0, size)
+		mustSend(t1.SendMR(p, 0, hdrPong, mr1, 0, size))
 	}
 	t1.SetEagerHandler(func(p *sim.Proc, from int, header uint64, data []byte) {
 		switch header {
@@ -139,7 +152,7 @@ func Run(cfg Config) (loggp.Params, error) {
 		}
 	})
 	t1.SetRndv(
-		func(from int, header uint64, size int) (*ibv.MR, int, bool) { return mr1, 0, true },
+		func(from int, header uint64, size int) (xport.Mem, int, bool) { return mr1, 0, true },
 		func(from int, header uint64, size int) {
 			// Rendezvous completion is observed from the receiver's
 			// control path; the echo needs a proc, so record and let the
@@ -177,13 +190,13 @@ func Run(cfg Config) (loggp.Params, error) {
 }
 
 // measure runs on rank 0 and produces the parameter set.
-func measure(p *sim.Proc, r *mpi.Rank, tr *ucx.Transport, cfg Config, mr *ibv.MR, pongs *int, trainArrivals *[]sim.Time) loggp.Params {
+func measure(p *sim.Proc, r *mpi.Rank, tr xport.Messenger, cfg Config, mr xport.Mem, pongs *int, trainArrivals *[]sim.Time) loggp.Params {
 	pingpong := func(size int) time.Duration {
 		var total time.Duration
 		for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
 			want := *pongs + 1
 			start := p.Now()
-			tr.SendMR(p, 1, hdrPing, mr, 0, size)
+			mustSend(tr.SendMR(p, 1, hdrPing, mr, 0, size))
 			r.WaitOn(p, func() bool { return *pongs >= want })
 			if i >= cfg.Warmup {
 				total += p.Now().Sub(start)
@@ -204,14 +217,14 @@ func measure(p *sim.Proc, r *mpi.Rank, tr *ucx.Transport, cfg Config, mr *ibv.MR
 
 	// Sender overhead: CPU time of the send call itself.
 	start := p.Now()
-	tr.SendMR(p, 1, hdrTrain, mr, 0, cfg.SmallBytes)
+	mustSend(tr.SendMR(p, 1, hdrTrain, mr, 0, cfg.SmallBytes))
 	os := p.Now().Sub(start)
 
 	// Message train: inter-arrival spacing at the receiver bounds both the
 	// injection gap and the receiver's per-message processing.
 	*trainArrivals = (*trainArrivals)[:0]
 	for i := 0; i < cfg.TrainLen; i++ {
-		tr.SendMR(p, 1, hdrTrain, mr, 0, cfg.SmallBytes)
+		mustSend(tr.SendMR(p, 1, hdrTrain, mr, 0, cfg.SmallBytes))
 	}
 	// The arrivals are recorded by the peer's progress engine, which emits
 	// no event on this rank; poll, as the real tool does.
@@ -260,4 +273,12 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// mustSend asserts a measurement send was accepted; sizes are validated by
+// the configuration, so failure is a harness bug.
+func mustSend(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("netgauge: send: %v", err))
+	}
 }

@@ -1,9 +1,10 @@
 // Package pt2pt provides traditional MPI point-to-point communication
 // (Send/Recv/Isend/Irecv with tag matching and wildcards) over the
-// UCX-like transport. The paper's context assumes a full MPI library
-// around the partitioned module; this package completes the substrate so
-// applications can mix partitioned transfers with ordinary messages (as
-// the sweep and halo codes the paper cites do for setup and reductions).
+// provider-neutral active-message layer. The paper's context assumes a
+// full MPI library around the partitioned module; this package completes
+// the substrate so applications can mix partitioned transfers with
+// ordinary messages (as the sweep and halo codes the paper cites do for
+// setup and reductions).
 //
 // Matching follows MPI semantics: posted receives match arriving messages
 // by (source, tag) in posted order, with AnySource and AnyTag wildcards —
@@ -14,10 +15,9 @@ package pt2pt
 import (
 	"fmt"
 
-	"repro/internal/ibv"
 	"repro/internal/mpi"
 	"repro/internal/sim"
-	"repro/internal/ucx"
+	"repro/internal/xport"
 )
 
 // Wildcards for Recv matching.
@@ -32,10 +32,11 @@ const (
 const maxTag = 1 << 30
 
 // Comm is one rank's point-to-point engine. Create exactly one per rank
-// (it owns the rank's UCX transport).
+// (it owns the rank's "pt2pt" transport channel).
 type Comm struct {
 	r  *mpi.Rank
-	tr *ucx.Transport
+	pv xport.Provider
+	tr xport.Messenger
 
 	// posted holds unmatched receive requests in post order.
 	posted []*RecvReq
@@ -43,7 +44,7 @@ type Comm struct {
 	unexpected []*envelope
 
 	// sendMR is a registered staging region for Send payloads.
-	sendMR   *ibv.MR
+	sendMR   xport.Mem
 	sendBusy bool
 
 	// scratch tracks unexpected rendezvous arrivals between CTS and FIN.
@@ -76,26 +77,34 @@ type RecvReq struct {
 	overrun bool
 	// landing is the direct rendezvous registration over buf, when the
 	// receive was posted before the sender's RTS arrived.
-	landing *ibv.MR
+	landing xport.Mem
 }
 
-// New creates the point-to-point engine for a rank. Pass nil to create a
-// private transport on the "pt2pt" control channel, which coexists with
-// the partitioned module's transport on the same rank (two UCX workers);
-// pass an explicit transport only when this Comm should own it.
-func New(r *mpi.Rank, tr *ucx.Transport) *Comm {
-	if tr == nil {
-		tr = ucx.New(r, ucx.Config{Channel: "pt2pt"})
+// New creates the point-to-point engine for a rank over the named
+// transport provider; the empty string selects "verbs". The engine's
+// messenger lives on the "pt2pt" control channel, so it coexists with the
+// partitioned module's transport on the same rank (two workers).
+func New(r *mpi.Rank, provider string) (*Comm, error) {
+	if provider == "" {
+		provider = "verbs"
 	}
-	c := &Comm{r: r, tr: tr}
-	mr, err := r.PD().RegMR(make([]byte, 1<<20))
+	pv, err := r.Provider(provider)
 	if err != nil {
-		panic(fmt.Sprintf("pt2pt: staging RegMR: %v", err))
+		return nil, err
+	}
+	tr, err := pv.NewMessenger(xport.MessengerConfig{Channel: "pt2pt"})
+	if err != nil {
+		return nil, err
+	}
+	c := &Comm{r: r, pv: pv, tr: tr}
+	mr, err := pv.RegMem(make([]byte, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("pt2pt: staging registration: %w", err)
 	}
 	c.sendMR = mr
 	tr.SetEagerHandler(c.onEager)
 	tr.SetRndv(c.rndvTarget, c.onRndvDone)
-	return c
+	return c, nil
 }
 
 // Rank returns the owning rank.
@@ -123,13 +132,17 @@ func (c *Comm) Isend(p *sim.Proc, buf []byte, dest, tag int) (*SendReq, error) {
 	if len(buf) <= c.sendMR.Len() && !c.sendBusy {
 		c.sendBusy = true
 		copy(c.sendMR.Bytes()[:len(buf)], buf)
-		c.tr.SendMR(p, dest, header(tag), c.sendMR, 0, len(buf))
+		if err := c.tr.SendMR(p, dest, header(tag), c.sendMR, 0, len(buf)); err != nil {
+			return nil, err
+		}
 	} else {
-		mr, err := c.r.PD().RegMR(append([]byte(nil), buf...))
+		mr, err := c.pv.RegMem(append([]byte(nil), buf...))
 		if err != nil {
 			return nil, err
 		}
-		c.tr.SendMR(p, dest, header(tag), mr, 0, len(buf))
+		if err := c.tr.SendMR(p, dest, header(tag), mr, 0, len(buf)); err != nil {
+			return nil, err
+		}
 	}
 	req.done = true // injected; completion semantics of a buffered send
 	return req, nil
@@ -265,14 +278,14 @@ func (c *Comm) onEager(p *sim.Proc, from int, h uint64, data []byte) {
 // rndvTarget places a rendezvous payload. A matched posted receive lands
 // directly in the user buffer (true zero-copy rendezvous); an unexpected
 // rendezvous lands in a scratch registration and is copied at match time.
-func (c *Comm) rndvTarget(from int, h uint64, size int) (*ibv.MR, int, bool) {
+func (c *Comm) rndvTarget(from int, h uint64, size int) (xport.Mem, int, bool) {
 	tag := tagOf(h)
 	for _, req := range c.posted {
 		if req.matches(from, tag) && req.landing == nil {
 			if size > len(req.buf) {
 				break // truncation: land in scratch, fail at Wait
 			}
-			mr, err := c.r.PD().RegMR(req.buf)
+			mr, err := c.pv.RegMem(req.buf)
 			if err != nil {
 				break
 			}
@@ -280,7 +293,7 @@ func (c *Comm) rndvTarget(from int, h uint64, size int) (*ibv.MR, int, bool) {
 			return mr, 0, true
 		}
 	}
-	scratch, err := c.r.PD().RegMR(make([]byte, size))
+	scratch, err := c.pv.RegMem(make([]byte, size))
 	if err != nil {
 		return nil, 0, false
 	}
@@ -335,7 +348,7 @@ func (c *Comm) rematch() {
 type scratchLanding struct {
 	from int
 	tag  int
-	mr   *ibv.MR
+	mr   xport.Mem
 }
 
 // Quiescent reports whether the underlying transport has flushed all

@@ -20,7 +20,11 @@ func newEnv(nodes int) *env {
 	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(nodes)})
 	e := &env{w: w}
 	for i := 0; i < nodes; i++ {
-		e.cs = append(e.cs, New(w.Rank(i), nil))
+		c, err := New(w.Rank(i), "")
+		if err != nil {
+			panic(err)
+		}
+		e.cs = append(e.cs, c)
 	}
 	return e
 }

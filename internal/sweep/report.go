@@ -17,6 +17,9 @@ type BenchReport struct {
 	// Tool identifies the producing binary and workload, e.g.
 	// "tuningsearch" or "partbench fig8".
 	Tool string `json:"tool"`
+	// Provider names the transport backend the workload ran over
+	// ("verbs", "ucx", "shm"); empty in records predating the SPI.
+	Provider string `json:"provider,omitempty"`
 	// GOMAXPROCS is the core budget the parallel pass ran under.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// Workers is the -j value of the parallel pass.

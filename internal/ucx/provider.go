@@ -1,0 +1,57 @@
+package ucx
+
+import (
+	"fmt"
+
+	"repro/internal/xport"
+)
+
+// ProviderName is the "ucx" provider's registry name.
+const ProviderName = "ucx"
+
+func init() { xport.Register(ProviderName, NewProvider) }
+
+// Provider is the "ucx" backend: UCX running over the rank's verbs
+// hardware. Memory registration and endpoints delegate to the host's
+// verbs provider instance (sharing its CQs and progress source, exactly
+// as real UCX rides the verbs device), while the messenger is this
+// package's protocol engine with UCX's protocol thresholds.
+type Provider struct {
+	host xport.Host
+	base xport.Provider
+}
+
+// NewProvider instantiates the ucx provider over the host's verbs
+// provider.
+func NewProvider(h xport.Host) (xport.Provider, error) {
+	base, err := h.Provider("verbs")
+	if err != nil {
+		return nil, fmt.Errorf("ucx: resolving base provider: %w", err)
+	}
+	return &Provider{host: h, base: base}, nil
+}
+
+// Name returns "ucx".
+func (pv *Provider) Name() string { return ProviderName }
+
+// Caps advertises the base device limits with UCX's protocol thresholds.
+func (pv *Provider) Caps() xport.Caps {
+	caps := pv.base.Caps()
+	caps.EagerMax = 1 << 10
+	caps.RndvThreshold = 32 << 10
+	return caps
+}
+
+// RegMem registers with the underlying verbs provider.
+func (pv *Provider) RegMem(buf []byte) (xport.Mem, error) { return pv.base.RegMem(buf) }
+
+// NewEndpoint mints a verbs endpoint; its completions drain through the
+// verbs progress source.
+func (pv *Provider) NewEndpoint(cfg xport.EndpointConfig) (xport.Endpoint, error) {
+	return pv.base.NewEndpoint(cfg)
+}
+
+// NewMessenger builds this package's engine over the provider.
+func (pv *Provider) NewMessenger(cfg xport.MessengerConfig) (xport.Messenger, error) {
+	return New(pv.host, pv, cfg)
+}

@@ -14,6 +14,13 @@
 // payload) to the destination transport's handler from its progress
 // engine. Connections are established lazily per destination with a
 // control-plane handshake, like UCX wireup.
+//
+// The engine is provider-neutral: it speaks only the transport SPI
+// (internal/xport), so the same protocol machine runs over the verbs
+// device, the shared-memory loopback, or any future backend. The package
+// also registers the "ucx" provider, whose endpoints and memory delegate
+// to the rank's verbs provider (UCX running over verbs hardware) and whose
+// messenger is this engine.
 package ucx
 
 import (
@@ -22,9 +29,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/ibv"
-	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/xport"
 )
 
 // Config selects protocol thresholds and copy costs.
@@ -41,9 +47,9 @@ type Config struct {
 	// Slots is the bounce-slot count per endpoint direction. Zero
 	// selects 64.
 	Slots int
-	// Rails is the number of queue pairs per endpoint, used round-robin
-	// (UCX multi-rail); with the default fabric a single QP cannot
-	// saturate the link. Zero selects 2.
+	// Rails is the number of endpoints per peer, used round-robin (UCX
+	// multi-rail); with the default fabric a single QP cannot saturate
+	// the link. Zero selects 2.
 	Rails int
 	// SendOverhead is the per-message CPU cost of the bcopy (small
 	// message) send fast path. Zero selects 120 ns.
@@ -160,23 +166,20 @@ const (
 	kindRelease = ".rel"
 )
 
-// EagerHandler consumes an eager active message. For bcopy/zcopy arrivals
-// data points into the bounce buffer and is only valid during the call;
-// the copy-out cost has already been charged to p.
-type EagerHandler func(p *sim.Proc, from int, header uint64, data []byte)
-
-// RndvTarget maps an announced rendezvous message to its landing zone in
-// local registered memory. Returning ok=false is a protocol error (the
-// layer above guarantees placement is known after initialization).
-type RndvTarget func(from int, header uint64, size int) (mr *ibv.MR, off int, ok bool)
-
-// RndvDone is invoked (from the receiver's control path) when a rendezvous
-// payload has fully landed.
-type RndvDone func(from int, header uint64, size int)
+// Handler types re-exported from the SPI for convenience.
+type (
+	// EagerHandler consumes an eager active message; see xport.EagerHandler.
+	EagerHandler = xport.EagerHandler
+	// RndvTarget resolves a rendezvous landing zone; see xport.RndvTarget.
+	RndvTarget = xport.RndvTarget
+	// RndvDone observes rendezvous completion; see xport.RndvDone.
+	RndvDone = xport.RndvDone
+)
 
 // Transport is one rank's UCX-like messaging engine.
 type Transport struct {
-	rank *mpi.Rank
+	host xport.Host
+	pv   xport.Provider
 	cfg  Config
 
 	eager      EagerHandler
@@ -195,9 +198,12 @@ type Transport struct {
 	rndvSends  int64
 }
 
-// connectMsg is the wireup handshake payload.
+var _ xport.Messenger = (*Transport)(nil)
+
+// connectMsg is the wireup handshake payload: one endpoint descriptor per
+// rail.
 type connectMsg struct {
-	qps []*ibv.QP
+	descs []xport.Desc
 }
 
 // rtsMsg announces a rendezvous send; raddr/rkey expose the sender's
@@ -239,30 +245,35 @@ type creditMsg struct {
 // endpoint is the per-destination state.
 type endpoint struct {
 	dst   int
-	qps   []*ibv.QP
-	rail  int // round-robin cursor over qps
+	rails []xport.Endpoint
+	rail  int // round-robin cursor over rails
 	ready bool
 
 	// Sender staging ring for bcopy/zcopy headers+payloads. freeSlots is
 	// a LIFO stack (slot reuse order is irrelevant), so push/pop never
 	// leak capacity off the front of the backing array.
-	staging   *ibv.MR
+	staging   xport.Mem
 	slotSize  int
 	freeSlots []int
 	// slotOf maps WRID -> staging slot to free on send completion.
 	slotOf map[uint64]int
-	// sendSGEs holds one reusable gather list per staging slot. The verbs
-	// layer retains SGList for the lifetime of the posted WR, and a slot
+	// sendSegs holds one reusable gather list per staging slot. A slot
 	// has at most one send in flight, so per-slot reuse keeps postEager
 	// allocation-free without aliasing live WRs.
-	sendSGEs [][2]ibv.SGE
+	sendSegs [][2]xport.Seg
 
 	// Receive bounce ring. recvWRs caches one receive WR per bounce slot:
 	// the gather list for a slot never changes and a slot is reposted only
-	// after its previous receive completed, so the same WR (and SGList
-	// backing array) is posted every time without a per-repost allocation.
-	bounce  *ibv.MR
-	recvWRs []ibv.RecvWR
+	// after its previous receive completed, so the same WR (with the
+	// provider's conversion cached in Prep) is posted every time without a
+	// per-repost allocation.
+	bounce  xport.Mem
+	recvWRs []xport.RecvWR
+
+	// wrScratch is the reusable send work request: providers consume the
+	// WR synchronously at post time, so one in-progress post per endpoint
+	// never aliases.
+	wrScratch xport.SendWR
 
 	// pending holds sends deferred on wireup, staging or credit
 	// exhaustion, or a full send queue.
@@ -292,14 +303,14 @@ type endpoint struct {
 
 type pendingSend struct {
 	header uint64
-	mr     *ibv.MR
+	mem    xport.Mem
 	off    int
 	length int
 }
 
 type rndvOp struct {
 	header uint64
-	mr     *ibv.MR
+	mem    xport.Mem
 	off    int
 	length int
 }
@@ -312,28 +323,49 @@ type readOp struct {
 	seq    uint64
 }
 
-// New creates the transport for a rank and registers its control handlers.
-// Create exactly one transport per rank.
-func New(r *mpi.Rank, cfg Config) *Transport {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
+// New builds the engine over a provider from a neutral messenger
+// configuration; providers call it from their NewMessenger.
+func New(h xport.Host, pv xport.Provider, mcfg xport.MessengerConfig) (xport.Messenger, error) {
+	caps := pv.Caps()
+	cfg := Config{
+		Channel:       mcfg.Channel,
+		Rails:         mcfg.Rails,
+		BcopyMax:      mcfg.EagerMax,
+		RndvThreshold: mcfg.RndvThreshold,
+		RndvScheme:    mcfg.RndvScheme,
 	}
-	t := &Transport{rank: r, cfg: cfg.withDefaults(), eps: make(map[int]*endpoint)}
-	r.HandleCtrl(t.kind(kindConnect), t.onConnect)
-	r.HandleCtrl(t.kind(kindAccept), t.onAccept)
-	r.HandleCtrl(t.kind(kindRTS), t.onRTS)
-	r.HandleCtrl(t.kind(kindCTS), t.onCTS)
-	r.HandleCtrl(t.kind(kindFIN), t.onFIN)
-	r.HandleCtrl(t.kind(kindCredit), t.onCredit)
-	r.HandleCtrl(t.kind(kindRelease), t.onRelease)
-	return t
+	if cfg.BcopyMax == 0 {
+		cfg.BcopyMax = caps.EagerMax
+	}
+	if cfg.RndvThreshold == 0 {
+		cfg.RndvThreshold = caps.RndvThreshold
+	}
+	return NewWithConfig(h, pv, cfg)
+}
+
+// NewWithConfig creates the transport for a rank with full protocol
+// tuning and registers its control handlers. Create exactly one transport
+// per (rank, channel).
+func NewWithConfig(h xport.Host, pv xport.Provider, cfg Config) (*Transport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Transport{host: h, pv: pv, cfg: cfg.withDefaults(), eps: make(map[int]*endpoint)}
+	h.HandleCtrl(t.kind(kindConnect), t.onConnect)
+	h.HandleCtrl(t.kind(kindAccept), t.onAccept)
+	h.HandleCtrl(t.kind(kindRTS), t.onRTS)
+	h.HandleCtrl(t.kind(kindCTS), t.onCTS)
+	h.HandleCtrl(t.kind(kindFIN), t.onFIN)
+	h.HandleCtrl(t.kind(kindCredit), t.onCredit)
+	h.HandleCtrl(t.kind(kindRelease), t.onRelease)
+	return t, nil
 }
 
 // kind returns a channel-scoped control kind.
 func (t *Transport) kind(suffix string) string { return t.cfg.Channel + suffix }
 
-// Rank returns the owning rank.
-func (t *Transport) Rank() *mpi.Rank { return t.rank }
+// Host returns the owning rank's host environment.
+func (t *Transport) Host() xport.Host { return t.host }
 
 // SetEagerHandler installs the eager active-message consumer.
 func (t *Transport) SetEagerHandler(h EagerHandler) { t.eager = h }
@@ -371,55 +403,56 @@ func (t *Transport) endpointFor(dst int) *endpoint {
 	}
 	ep := t.newEndpoint(dst)
 	t.eps[dst] = ep
-	// Wireup: offer our QP; the peer accepts with its own.
-	t.rank.SendCtrl(dst, t.kind(kindConnect), connectMsg{qps: ep.qps})
+	// Wireup: offer our descriptors; the peer accepts with its own.
+	t.host.SendCtrl(dst, t.kind(kindConnect), connectMsg{descs: descsOf(ep.rails)})
 	return ep
 }
 
-// newEndpoint allocates QP, staging, and bounce resources for one peer.
+// descsOf collects the wire descriptors of an endpoint's rails.
+func descsOf(rails []xport.Endpoint) []xport.Desc {
+	descs := make([]xport.Desc, len(rails))
+	for i, r := range rails {
+		descs[i] = r.Desc()
+	}
+	return descs
+}
+
+// newEndpoint allocates rail, staging, and bounce resources for one peer.
 func (t *Transport) newEndpoint(dst int) *endpoint {
-	r := t.rank
-	qps := make([]*ibv.QP, t.cfg.Rails)
-	for i := range qps {
-		qp, err := r.PD().CreateQP(ibv.QPConfig{
-			SendCQ:    r.SendCQ(),
-			RecvCQ:    r.RecvCQ(),
-			MaxSendWR: 256,
-			MaxRecvWR: t.cfg.Slots + 16,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("ucx: CreateQP: %v", err))
-		}
-		if err := qp.ToInit(); err != nil {
-			panic(fmt.Sprintf("ucx: ToInit: %v", err))
-		}
-		qps[i] = qp
-	}
-	slotSize := headerBytes + t.cfg.RndvThreshold
-	staging, err := r.PD().RegMR(make([]byte, t.cfg.Slots*slotSize))
-	if err != nil {
-		panic(fmt.Sprintf("ucx: staging RegMR: %v", err))
-	}
-	bounce, err := r.PD().RegMR(make([]byte, t.cfg.Slots*slotSize))
-	if err != nil {
-		panic(fmt.Sprintf("ucx: bounce RegMR: %v", err))
-	}
 	ep := &endpoint{
 		dst:      dst,
-		qps:      qps,
-		staging:  staging,
-		slotSize: slotSize,
 		slotOf:   make(map[uint64]int),
-		bounce:   bounce,
 		rndv:     make(map[uint64]*rndvOp),
+		slotSize: headerBytes + t.cfg.RndvThreshold,
 	}
-	ep.sendSGEs = make([][2]ibv.SGE, t.cfg.Slots)
-	ep.recvWRs = make([]ibv.RecvWR, t.cfg.Slots)
+	ep.rails = make([]xport.Endpoint, t.cfg.Rails)
+	for i := range ep.rails {
+		rail, err := t.pv.NewEndpoint(xport.EndpointConfig{
+			MaxSendWR:    256,
+			MaxRecvWR:    t.cfg.Slots + 16,
+			OnCompletion: func(p *sim.Proc, c xport.Completion) { t.onWC(p, ep, c) },
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ucx: NewEndpoint: %v", err))
+		}
+		ep.rails[i] = rail
+	}
+	staging, err := t.pv.RegMem(make([]byte, t.cfg.Slots*ep.slotSize))
+	if err != nil {
+		panic(fmt.Sprintf("ucx: staging RegMem: %v", err))
+	}
+	bounce, err := t.pv.RegMem(make([]byte, t.cfg.Slots*ep.slotSize))
+	if err != nil {
+		panic(fmt.Sprintf("ucx: bounce RegMem: %v", err))
+	}
+	ep.staging, ep.bounce = staging, bounce
+	ep.sendSegs = make([][2]xport.Seg, t.cfg.Slots)
+	ep.recvWRs = make([]xport.RecvWR, t.cfg.Slots)
 	for i := 0; i < t.cfg.Slots; i++ {
 		ep.freeSlots = append(ep.freeSlots, i)
-		ep.recvWRs[i] = ibv.RecvWR{
-			WRID:   uint64(i),
-			SGList: []ibv.SGE{bounce.SGEFor(i*slotSize, slotSize)},
+		ep.recvWRs[i] = xport.RecvWR{
+			WRID: uint64(i),
+			Segs: []xport.Seg{{Mem: bounce, Off: i * ep.slotSize, Len: ep.slotSize}},
 		}
 	}
 	perRail := t.cfg.Slots / t.cfg.Rails
@@ -428,25 +461,22 @@ func (t *Transport) newEndpoint(dst int) *endpoint {
 	for i := range ep.credits {
 		ep.credits[i] = perRail
 	}
-	for _, qp := range qps {
-		r.HandleQP(qp, func(p *sim.Proc, wc ibv.WC) { t.onWC(p, ep, wc) })
-	}
 	return ep
 }
 
-// nextQP round-robins rails for operations that need no eager credit
+// nextRail round-robins rails for operations that need no eager credit
 // (rendezvous RDMA writes consume no remote receive WR).
-func (ep *endpoint) nextQP() *ibv.QP {
-	qp := ep.qps[ep.rail%len(ep.qps)]
+func (ep *endpoint) nextRail() xport.Endpoint {
+	rail := ep.rails[ep.rail%len(ep.rails)]
 	ep.rail++
-	return qp
+	return rail
 }
 
 // takeEagerRail picks the next rail with an available eager credit,
 // consuming it. It returns -1 when every rail is out of credit.
 func (ep *endpoint) takeEagerRail() int {
-	for i := 0; i < len(ep.qps); i++ {
-		r := (ep.rail + i) % len(ep.qps)
+	for i := 0; i < len(ep.rails); i++ {
+		r := (ep.rail + i) % len(ep.rails)
 		if ep.credits[r] > 0 {
 			ep.credits[r]--
 			ep.rail = r + 1
@@ -475,7 +505,7 @@ func (t *Transport) postBounceRecvs(ep *endpoint) {
 }
 
 func (t *Transport) repostBounce(ep *endpoint, slot int) {
-	if err := ep.qps[slot%len(ep.qps)].PostRecv(ep.recvWRs[slot]); err != nil {
+	if err := ep.rails[slot%len(ep.rails)].PostRecv(&ep.recvWRs[slot]); err != nil {
 		panic(fmt.Sprintf("ucx: PostRecv bounce: %v", err))
 	}
 }
@@ -488,8 +518,8 @@ func (t *Transport) onConnect(from int, data any) {
 		ep = t.newEndpoint(from)
 		t.eps[from] = ep
 	}
-	t.finishWireup(ep, msg.qps)
-	t.rank.SendCtrl(from, t.kind(kindAccept), connectMsg{qps: ep.qps})
+	t.finishWireup(ep, msg.descs)
+	t.host.SendCtrl(from, t.kind(kindAccept), connectMsg{descs: descsOf(ep.rails)})
 }
 
 // onAccept is the active side's completion of wireup.
@@ -499,25 +529,22 @@ func (t *Transport) onAccept(from int, data any) {
 	if ep == nil {
 		panic("ucx: accept without endpoint")
 	}
-	t.finishWireup(ep, msg.qps)
+	t.finishWireup(ep, msg.descs)
 	t.flushPending(ep)
 }
 
-// finishWireup transitions the endpoint's rails to RTS against the remote
-// rails and posts bounce receives.
-func (t *Transport) finishWireup(ep *endpoint, remote []*ibv.QP) {
+// finishWireup connects the endpoint's rails to the remote rails and
+// posts bounce receives.
+func (t *Transport) finishWireup(ep *endpoint, remote []xport.Desc) {
 	if ep.ready {
 		return
 	}
-	if len(remote) != len(ep.qps) {
-		panic(fmt.Sprintf("ucx: rail count mismatch: %d vs %d", len(remote), len(ep.qps)))
+	if len(remote) != len(ep.rails) {
+		panic(fmt.Sprintf("ucx: rail count mismatch: %d vs %d", len(remote), len(ep.rails)))
 	}
-	for i, qp := range ep.qps {
-		if err := qp.ToRTR(remote[i]); err != nil {
-			panic(fmt.Sprintf("ucx: ToRTR: %v", err))
-		}
-		if err := qp.ToRTS(); err != nil {
-			panic(fmt.Sprintf("ucx: ToRTS: %v", err))
+	for i, rail := range ep.rails {
+		if err := rail.Connect(remote[i]); err != nil {
+			panic(fmt.Sprintf("ucx: Connect: %v", err))
 		}
 	}
 	t.postBounceRecvs(ep)
@@ -539,38 +566,42 @@ func (t *Transport) copyCost(n int) time.Duration {
 // always stages through the bounce-copy path and therefore requires
 // len(data) <= RndvThreshold. Use SendMR for registered payloads of any
 // size.
-func (t *Transport) Send(p *sim.Proc, dst int, header uint64, data []byte) {
+func (t *Transport) Send(p *sim.Proc, dst int, header uint64, data []byte) error {
 	if len(data) > t.cfg.RndvThreshold {
-		panic(fmt.Sprintf("ucx: Send of %d B exceeds eager limit %d; use SendMR", len(data), t.cfg.RndvThreshold))
+		return fmt.Errorf("%w: ucx: Send of %d B exceeds eager limit %d; use SendMR",
+			xport.ErrTooLong, len(data), t.cfg.RndvThreshold)
 	}
 	ep := t.endpointFor(dst)
 	// Stage into a scratch registered buffer via the normal path by
 	// treating the staging ring itself as the source: charge the user→
 	// staging copy and enqueue.
 	t.sendEager(p, ep, header, nil, 0, data, true)
+	return nil
 }
 
 // SendMR delivers an active message from registered memory, selecting
 // bcopy, zcopy, or rendezvous by size exactly as the baseline's middleware
 // does.
-func (t *Transport) SendMR(p *sim.Proc, dst int, header uint64, mr *ibv.MR, off, length int) {
-	if off < 0 || length < 0 || off+length > mr.Len() {
-		panic(fmt.Sprintf("ucx: SendMR range [%d,%d) outside MR of %d B", off, off+length, mr.Len()))
+func (t *Transport) SendMR(p *sim.Proc, dst int, header uint64, mem xport.Mem, off, length int) error {
+	if off < 0 || length < 0 || off+length > mem.Len() {
+		return fmt.Errorf("%w: ucx: SendMR range [%d,%d) outside MR of %d B",
+			xport.ErrMemBounds, off, off+length, mem.Len())
 	}
 	ep := t.endpointFor(dst)
 	switch {
 	case length <= t.cfg.BcopyMax:
-		t.sendEager(p, ep, header, mr, off, mr.Bytes()[off:off+length], true)
+		t.sendEager(p, ep, header, mem, off, mem.Bytes()[off:off+length], true)
 	case length <= t.cfg.RndvThreshold:
-		t.sendEager(p, ep, header, mr, off, mr.Bytes()[off:off+length], false)
+		t.sendEager(p, ep, header, mem, off, mem.Bytes()[off:off+length], false)
 	default:
-		t.sendRndv(p, ep, header, mr, off, length)
+		t.sendRndv(p, ep, header, mem, off, length)
 	}
+	return nil
 }
 
 // sendEager stages (bcopy) or gathers (zcopy) an eager message. Staging
 // always copies the header; bcopy additionally copies the payload.
-func (t *Transport) sendEager(p *sim.Proc, ep *endpoint, header uint64, mr *ibv.MR, off int, data []byte, bcopy bool) {
+func (t *Transport) sendEager(p *sim.Proc, ep *endpoint, header uint64, mem xport.Mem, off int, data []byte, bcopy bool) {
 	if bcopy {
 		t.bcopySends++
 		p.Sleep(t.cfg.SendOverhead + t.copyCost(headerBytes+len(data)))
@@ -588,29 +619,29 @@ func (t *Transport) sendEager(p *sim.Proc, ep *endpoint, header uint64, mr *ibv.
 			captured := make([]byte, len(data))
 			copy(captured, data)
 			ep.pending = append(ep.pending, pendingSend{
-				header: header, mr: t.stashPending(captured), length: len(captured),
+				header: header, mem: t.stashPending(captured), length: len(captured),
 			})
 			return
 		}
-		ep.pending = append(ep.pending, pendingSend{header: header, mr: mr, off: off, length: len(data)})
+		ep.pending = append(ep.pending, pendingSend{header: header, mem: mem, off: off, length: len(data)})
 		return
 	}
-	t.postEager(ep, header, mr, off, data, bcopy)
+	t.postEager(ep, header, mem, off, data, bcopy)
 }
 
-// stashPending registers captured bytes as a throwaway MR for a deferred
-// bcopy send (freed by garbage collection after completion).
-func (t *Transport) stashPending(captured []byte) *ibv.MR {
-	mr, err := t.rank.PD().RegMR(captured)
+// stashPending registers captured bytes as a throwaway region for a
+// deferred bcopy send (freed by garbage collection after completion).
+func (t *Transport) stashPending(captured []byte) xport.Mem {
+	mem, err := t.pv.RegMem(captured)
 	if err != nil {
-		panic(fmt.Sprintf("ucx: stash RegMR: %v", err))
+		panic(fmt.Sprintf("ucx: stash RegMem: %v", err))
 	}
-	return mr
+	return mem
 }
 
 // postEager writes the header (and payload for bcopy) into a staging slot
 // and posts the send WR.
-func (t *Transport) postEager(ep *endpoint, header uint64, mr *ibv.MR, off int, data []byte, bcopy bool) {
+func (t *Transport) postEager(ep *endpoint, header uint64, mem xport.Mem, off int, data []byte, bcopy bool) {
 	last := len(ep.freeSlots) - 1
 	slot := ep.freeSlots[last]
 	ep.freeSlots = ep.freeSlots[:last]
@@ -618,15 +649,15 @@ func (t *Transport) postEager(ep *endpoint, header uint64, mr *ibv.MR, off int, 
 	stage := ep.staging.Bytes()
 	binary.BigEndian.PutUint64(stage[base:base+headerBytes], header)
 
-	var sges []ibv.SGE
-	if bcopy || mr == nil {
+	var segs []xport.Seg
+	if bcopy || mem == nil {
 		copy(stage[base+headerBytes:base+headerBytes+len(data)], data)
-		ep.sendSGEs[slot][0] = ep.staging.SGEFor(base, headerBytes+len(data))
-		sges = ep.sendSGEs[slot][:1]
+		ep.sendSegs[slot][0] = xport.Seg{Mem: ep.staging, Off: base, Len: headerBytes + len(data)}
+		segs = ep.sendSegs[slot][:1]
 	} else {
-		ep.sendSGEs[slot][0] = ep.staging.SGEFor(base, headerBytes)
-		ep.sendSGEs[slot][1] = mr.SGEFor(off, len(data))
-		sges = ep.sendSGEs[slot][:2]
+		ep.sendSegs[slot][0] = xport.Seg{Mem: ep.staging, Off: base, Len: headerBytes}
+		ep.sendSegs[slot][1] = xport.Seg{Mem: mem, Off: off, Len: len(data)}
+		segs = ep.sendSegs[slot][:2]
 	}
 	rail := ep.takeEagerRail()
 	if rail < 0 {
@@ -635,13 +666,13 @@ func (t *Transport) postEager(ep *endpoint, header uint64, mr *ibv.MR, off int, 
 	ep.nextWRID++
 	wrid := ep.nextWRID
 	ep.slotOf[wrid] = slot
-	err := ep.qps[rail].PostSend(ibv.SendWR{
+	ep.wrScratch = xport.SendWR{
 		WRID:     wrid,
-		Opcode:   ibv.OpSend,
-		SGList:   sges,
+		Op:       xport.OpSend,
+		Segs:     segs,
 		Signaled: true,
-	})
-	if err != nil {
+	}
+	if err := ep.rails[rail].PostSend(&ep.wrScratch); err != nil {
 		panic(fmt.Sprintf("ucx: PostSend eager: %v", err))
 	}
 }
@@ -651,27 +682,27 @@ func (t *Transport) flushPending(ep *endpoint) {
 	for len(ep.pending) > 0 && ep.ready && len(ep.freeSlots) > 0 && ep.hasEagerCredit() {
 		ps := ep.pending[0]
 		ep.pending = ep.pending[1:]
-		data := ps.mr.Bytes()[ps.off : ps.off+ps.length]
+		data := ps.mem.Bytes()[ps.off : ps.off+ps.length]
 		// Deferred sends re-post without re-charging CPU cost (it was
 		// charged at Send time).
-		t.postEager(ep, ps.header, ps.mr, ps.off, data, false)
+		t.postEager(ep, ps.header, ps.mem, ps.off, data, false)
 	}
 }
 
 // sendRndv runs the rendezvous protocol: RTS control message now, RDMA
 // write on CTS, FIN after the write completes.
-func (t *Transport) sendRndv(p *sim.Proc, ep *endpoint, header uint64, mr *ibv.MR, off, length int) {
+func (t *Transport) sendRndv(p *sim.Proc, ep *endpoint, header uint64, mem xport.Mem, off, length int) {
 	t.rndvSends++
 	p.Sleep(t.cfg.RndvSendOverhead)
 	ep.nextSeq++
 	seq := ep.nextSeq
-	ep.rndv[seq] = &rndvOp{header: header, mr: mr, off: off, length: length}
-	t.rank.SendCtrl(ep.dst, t.kind(kindRTS), rtsMsg{
+	ep.rndv[seq] = &rndvOp{header: header, mem: mem, off: off, length: length}
+	t.host.SendCtrl(ep.dst, t.kind(kindRTS), rtsMsg{
 		header: header,
 		size:   length,
 		seq:    seq,
-		raddr:  mr.Addr() + uint64(off),
-		rkey:   mr.RKey(),
+		raddr:  mem.Addr() + uint64(off),
+		rkey:   mem.RKey(),
 	})
 }
 
@@ -682,7 +713,7 @@ func (t *Transport) onRTS(from int, data any) {
 	if t.rndvTarget == nil {
 		panic("ucx: rendezvous RTS with no target resolver installed")
 	}
-	mr, off, ok := t.rndvTarget(from, msg.header, msg.size)
+	mem, off, ok := t.rndvTarget(from, msg.header, msg.size)
 	if !ok {
 		panic(fmt.Sprintf("ucx: no rendezvous target for header %#x from %d", msg.header, from))
 	}
@@ -696,23 +727,23 @@ func (t *Transport) onRTS(from int, data any) {
 			ep.nextWRID++
 			wrid := ep.nextWRID
 			ep.readOps[wrid] = readOp{from: from, header: msg.header, size: msg.size, seq: msg.seq}
-			err := ep.nextQP().PostSend(ibv.SendWR{
+			ep.wrScratch = xport.SendWR{
 				WRID:       wrid,
-				Opcode:     ibv.OpRDMARead,
-				SGList:     []ibv.SGE{mr.SGEFor(off, msg.size)},
+				Op:         xport.OpRead,
+				Segs:       []xport.Seg{{Mem: mem, Off: off, Len: msg.size}},
 				RemoteAddr: msg.raddr,
 				RKey:       msg.rkey,
 				Signaled:   true,
-			})
-			if err != nil {
+			}
+			if err := ep.nextRail().PostSend(&ep.wrScratch); err != nil {
 				panic(fmt.Sprintf("ucx: PostSend rndv-get read: %v", err))
 			}
 		})
 		return
 	}
-	cts := ctsMsg{seq: msg.seq, raddr: mr.Addr() + uint64(off), rkey: mr.RKey()}
+	cts := ctsMsg{seq: msg.seq, raddr: mem.Addr() + uint64(off), rkey: mem.RKey()}
 	t.afterProtoCost(func() {
-		t.rank.SendCtrl(from, t.kind(kindCTS), cts)
+		t.host.SendCtrl(from, t.kind(kindCTS), cts)
 	})
 }
 
@@ -724,13 +755,13 @@ func (t *Transport) onRelease(from int, data any) {
 		panic(fmt.Sprintf("ucx: release for unknown rendezvous seq %d", msg.seq))
 	}
 	delete(ep.rndv, msg.seq)
-	t.rank.Wake()
+	t.host.Wake()
 }
 
 // afterProtoCost schedules fn after this receiver's next free
 // protocol-processing slot, charging RndvRecvOverhead serialized.
 func (t *Transport) afterProtoCost(fn func()) {
-	e := t.rank.World().Engine()
+	e := t.host.Engine()
 	start := e.Now()
 	if t.protoFreeAt > start {
 		start = t.protoFreeAt
@@ -754,15 +785,15 @@ func (t *Transport) onCTS(from int, data any) {
 	// Completion of this WRID triggers the FIN; no staging slot to free.
 	ep.slotOf[wrid] = -1
 	t.finOnAck(ep, wrid, finMsg{header: op.header, size: op.length})
-	err := ep.nextQP().PostSend(ibv.SendWR{
+	ep.wrScratch = xport.SendWR{
 		WRID:       wrid,
-		Opcode:     ibv.OpRDMAWrite,
-		SGList:     []ibv.SGE{op.mr.SGEFor(op.off, op.length)},
+		Op:         xport.OpWrite,
+		Segs:       []xport.Seg{{Mem: op.mem, Off: op.off, Len: op.length}},
 		RemoteAddr: msg.raddr,
 		RKey:       msg.rkey,
 		Signaled:   true,
-	})
-	if err != nil {
+	}
+	if err := ep.nextRail().PostSend(&ep.wrScratch); err != nil {
 		panic(fmt.Sprintf("ucx: PostSend rndv: %v", err))
 	}
 }
@@ -784,7 +815,7 @@ func (t *Transport) onFIN(from int, data any) {
 	}
 	t.afterProtoCost(func() {
 		t.rndvDone(from, msg.header, msg.size)
-		t.rank.Wake()
+		t.host.Wake()
 	})
 }
 
@@ -800,40 +831,40 @@ func (t *Transport) onCredit(from int, data any) {
 }
 
 // onWC handles both send-side and receive-side completions for an
-// endpoint's QP, invoked from the rank's progress engine.
-func (t *Transport) onWC(p *sim.Proc, ep *endpoint, wc ibv.WC) {
-	if wc.Status != ibv.StatusSuccess {
-		panic(fmt.Sprintf("ucx: completion error on rank %d endpoint %d: %v", t.rank.ID(), ep.dst, wc.Status))
+// endpoint's rails, invoked from the rank's progress engine.
+func (t *Transport) onWC(p *sim.Proc, ep *endpoint, c xport.Completion) {
+	if !c.OK() {
+		panic(fmt.Sprintf("ucx: completion error on rank %d endpoint %d: %v", t.host.ID(), ep.dst, c.Status))
 	}
-	switch wc.Opcode {
-	case ibv.WCRDMARead:
-		op, ok := ep.readOps[wc.WRID]
+	switch c.Op {
+	case xport.CompRead:
+		op, ok := ep.readOps[c.WRID]
 		if !ok {
 			panic("ucx: read completion for unknown rendezvous")
 		}
-		delete(ep.readOps, wc.WRID)
+		delete(ep.readOps, c.WRID)
 		p.Sleep(t.cfg.RndvRecvOverhead)
-		t.rank.SendCtrl(ep.dst, t.kind(kindRelease), releaseMsg{seq: op.seq})
+		t.host.SendCtrl(ep.dst, t.kind(kindRelease), releaseMsg{seq: op.seq})
 		if t.rndvDone == nil {
 			panic("ucx: rendezvous-get completion with no handler installed")
 		}
 		t.rndvDone(op.from, op.header, op.size)
-	case ibv.WCSend, ibv.WCRDMAWrite:
-		if fin, ok := ep.finPending[wc.WRID]; ok {
-			delete(ep.finPending, wc.WRID)
-			t.rank.SendCtrl(ep.dst, t.kind(kindFIN), fin)
+	case xport.CompSend, xport.CompWrite:
+		if fin, ok := ep.finPending[c.WRID]; ok {
+			delete(ep.finPending, c.WRID)
+			t.host.SendCtrl(ep.dst, t.kind(kindFIN), fin)
 		}
-		if slot, ok := ep.slotOf[wc.WRID]; ok {
-			delete(ep.slotOf, wc.WRID)
+		if slot, ok := ep.slotOf[c.WRID]; ok {
+			delete(ep.slotOf, c.WRID)
 			if slot >= 0 {
 				ep.freeSlots = append(ep.freeSlots, slot)
 			}
 		}
 		t.flushPending(ep)
-	case ibv.WCRecv:
-		slot := int(wc.WRID)
+	case xport.CompRecv:
+		slot := int(c.WRID)
 		base := slot * ep.slotSize
-		buf := ep.bounce.Bytes()[base : base+wc.ByteLen]
+		buf := ep.bounce.Bytes()[base : base+c.Bytes]
 		header := binary.BigEndian.Uint64(buf[:headerBytes])
 		payload := buf[headerBytes:]
 		// Charge the receive-side active-message handling (tiered by
@@ -849,17 +880,17 @@ func (t *Transport) onWC(p *sim.Proc, ep *endpoint, wc ibv.WC) {
 		}
 		t.eager(p, ep.dst, header, payload)
 		t.repostBounce(ep, slot)
-		rail := slot % len(ep.qps)
+		rail := slot % len(ep.rails)
 		ep.processed[rail]++
 		threshold := t.cfg.Slots / t.cfg.Rails / 2
 		if threshold < 1 {
 			threshold = 1
 		}
 		if ep.processed[rail] >= threshold {
-			t.rank.SendCtrl(ep.dst, t.kind(kindCredit), creditMsg{rail: rail, n: ep.processed[rail]})
+			t.host.SendCtrl(ep.dst, t.kind(kindCredit), creditMsg{rail: rail, n: ep.processed[rail]})
 			ep.processed[rail] = 0
 		}
 	default:
-		panic(fmt.Sprintf("ucx: unexpected completion opcode %v", wc.Opcode))
+		panic(fmt.Sprintf("ucx: unexpected completion opcode %v", c.Op))
 	}
 }

@@ -1,31 +1,55 @@
-package ucx
+package ucx_test
 
 import (
 	"bytes"
-	"strings"
+	"errors"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/ibv"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/ucx"
+	"repro/internal/xport"
 )
 
-// env wires a two-rank world with one transport per rank.
+// env wires a two-rank world with one transport per rank, over the verbs
+// provider (the package's historical substrate).
 type env struct {
 	w  *mpi.World
-	ts []*Transport
+	ts []*ucx.Transport
 }
 
-func newEnv(t *testing.T, cfg Config) *env {
+func newEnv(t *testing.T, cfg ucx.Config) *env {
 	t.Helper()
 	w := mpi.NewWorld(mpi.Config{Cluster: cluster.NiagaraConfig(2)})
 	e := &env{w: w}
 	for i := 0; i < 2; i++ {
-		e.ts = append(e.ts, New(w.Rank(i), cfg))
+		pv, err := w.Rank(i).Provider("verbs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ucx.NewWithConfig(w.Rank(i), pv, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.ts = append(e.ts, tr)
 	}
 	return e
+}
+
+// regMem registers a buffer through a rank's verbs provider.
+func (e *env) regMem(t *testing.T, rank int, buf []byte) xport.Mem {
+	t.Helper()
+	pv, err := e.w.Rank(rank).Provider("verbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := pv.RegMem(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mr
 }
 
 // received records one delivered active message.
@@ -37,7 +61,7 @@ type received struct {
 }
 
 // collect installs an eager handler appending into a slice.
-func collect(tr *Transport, out *[]received) {
+func collect(tr *ucx.Transport, out *[]received) {
 	tr.SetEagerHandler(func(p *sim.Proc, from int, header uint64, data []byte) {
 		cp := make([]byte, len(data))
 		copy(cp, data)
@@ -46,10 +70,10 @@ func collect(tr *Transport, out *[]received) {
 }
 
 func TestConfigValidate(t *testing.T) {
-	if err := (Config{}).Validate(); err != nil {
+	if err := (ucx.Config{}).Validate(); err != nil {
 		t.Fatalf("zero config (defaults) invalid: %v", err)
 	}
-	bad := []Config{
+	bad := []ucx.Config{
 		{BcopyMax: 4096, RndvThreshold: 1024},
 		{CopyByteTime: -1},
 		{Slots: -1},
@@ -62,14 +86,16 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestEagerBcopyRoundTrip(t *testing.T) {
-	e := newEnv(t, Config{})
+	e := newEnv(t, ucx.Config{})
 	var got []received
 	collect(e.ts[1], &got)
 	payload := []byte("hello partitioned world")
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
-			e.ts[0].Send(p, 1, 0xabcd, payload)
+			if err := e.ts[0].Send(p, 1, 0xabcd, payload); err != nil {
+				t.Error(err)
+			}
 		case 1:
 			r.WaitOn(p, func() bool { return len(got) == 1 })
 		}
@@ -87,26 +113,17 @@ func TestEagerBcopyRoundTrip(t *testing.T) {
 }
 
 func TestProtocolSelectionBySize(t *testing.T) {
-	e := newEnv(t, Config{BcopyMax: 1024, RndvThreshold: 16384})
-	r0 := e.w.Rank(0)
-	buf := make([]byte, 1<<20)
-	mr, err := r0.PD().RegMR(buf)
-	if err != nil {
-		t.Fatal(err)
-	}
+	e := newEnv(t, ucx.Config{BcopyMax: 1024, RndvThreshold: 16384})
+	mr := e.regMem(t, 0, make([]byte, 1<<20))
 	delivered := 0
 	e.ts[1].SetEagerHandler(func(p *sim.Proc, from int, header uint64, data []byte) { delivered++ })
 	// Rendezvous placement: land in a receiver-side region.
-	rbuf := make([]byte, 1<<20)
-	rmr, err := e.w.Rank(1).PD().RegMR(rbuf)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rmr := e.regMem(t, 1, make([]byte, 1<<20))
 	e.ts[1].SetRndv(
-		func(from int, header uint64, size int) (*ibv.MR, int, bool) { return rmr, 0, true },
+		func(from int, header uint64, size int) (xport.Mem, int, bool) { return rmr, 0, true },
 		func(from int, header uint64, size int) { delivered++ },
 	)
-	err = e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
 			e.ts[0].SendMR(p, 1, 1, mr, 0, 512)    // bcopy
@@ -129,19 +146,15 @@ func TestProtocolSelectionBySize(t *testing.T) {
 }
 
 func TestZcopyDeliversExactBytes(t *testing.T) {
-	e := newEnv(t, Config{})
-	r0 := e.w.Rank(0)
+	e := newEnv(t, ucx.Config{})
 	buf := make([]byte, 8192)
 	for i := range buf {
 		buf[i] = byte(i * 13)
 	}
-	mr, err := r0.PD().RegMR(buf)
-	if err != nil {
-		t.Fatal(err)
-	}
+	mr := e.regMem(t, 0, buf)
 	var got []received
 	collect(e.ts[1], &got)
-	err = e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
 			e.ts[0].SendMR(p, 1, 7, mr, 100, 4000)
@@ -158,25 +171,18 @@ func TestZcopyDeliversExactBytes(t *testing.T) {
 }
 
 func TestRendezvousLandsDirectlyInUserMemory(t *testing.T) {
-	e := newEnv(t, Config{})
-	r0, r1 := e.w.Rank(0), e.w.Rank(1)
+	e := newEnv(t, ucx.Config{})
 	src := make([]byte, 256<<10)
 	for i := range src {
 		src[i] = byte(i)
 	}
-	smr, err := r0.PD().RegMR(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	smr := e.regMem(t, 0, src)
 	dst := make([]byte, 256<<10)
-	dmr, err := r1.PD().RegMR(dst)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dmr := e.regMem(t, 1, dst)
 	done := false
 	var doneSize int
 	e.ts[1].SetRndv(
-		func(from int, header uint64, size int) (*ibv.MR, int, bool) {
+		func(from int, header uint64, size int) (xport.Mem, int, bool) {
 			if header != 99 {
 				t.Errorf("rndv header = %d", header)
 			}
@@ -184,7 +190,7 @@ func TestRendezvousLandsDirectlyInUserMemory(t *testing.T) {
 		},
 		func(from int, header uint64, size int) { done = true; doneSize = size },
 	)
-	err = e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
 			e.ts[0].SendMR(p, 1, 99, smr, 0, len(src))
@@ -209,7 +215,7 @@ func TestManyMessagesSurviveStagingPressure(t *testing.T) {
 	// defer, flow-control, and eventually deliver everything exactly once.
 	// Multi-rail delivery does not guarantee a global order, so this
 	// checks completeness and payload integrity per header.
-	e := newEnv(t, Config{Slots: 4})
+	e := newEnv(t, ucx.Config{Slots: 4})
 	var got []received
 	collect(e.ts[1], &got)
 	const n = 64
@@ -217,7 +223,9 @@ func TestManyMessagesSurviveStagingPressure(t *testing.T) {
 		switch r.ID() {
 		case 0:
 			for i := 0; i < n; i++ {
-				e.ts[0].Send(p, 1, uint64(i), []byte{byte(i)})
+				if err := e.ts[0].Send(p, 1, uint64(i), []byte{byte(i)}); err != nil {
+					t.Error(err)
+				}
 			}
 			// Deferred sends flush from the sender's progress path as
 			// staging slots free up; keep progressing until acknowledged.
@@ -247,7 +255,7 @@ func TestManyMessagesSurviveStagingPressure(t *testing.T) {
 func TestBcopyCapturesPayloadAtSendTime(t *testing.T) {
 	// Under staging pressure the payload is mutated after Send returns;
 	// the receiver must still see the original bytes.
-	e := newEnv(t, Config{Slots: 2})
+	e := newEnv(t, ucx.Config{Slots: 2})
 	var got []received
 	collect(e.ts[1], &got)
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
@@ -274,7 +282,7 @@ func TestBcopyCapturesPayloadAtSendTime(t *testing.T) {
 }
 
 func TestLazyWireupHappensOnce(t *testing.T) {
-	e := newEnv(t, Config{})
+	e := newEnv(t, ucx.Config{})
 	var got []received
 	collect(e.ts[1], &got)
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
@@ -298,39 +306,39 @@ func TestLazyWireupHappensOnce(t *testing.T) {
 	}
 }
 
-func TestSendTooLargePanics(t *testing.T) {
-	// The panic happens on the rank proc and surfaces as a ProcError.
-	e := newEnv(t, Config{})
+func TestSendTooLargeErrors(t *testing.T) {
+	e := newEnv(t, ucx.Config{})
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		if r.ID() == 0 {
-			e.ts[0].Send(p, 1, 1, make([]byte, 1<<20))
+			if err := e.ts[0].Send(p, 1, 1, make([]byte, 1<<20)); !errors.Is(err, xport.ErrTooLong) {
+				t.Errorf("oversized Send: err = %v, want ErrTooLong", err)
+			}
 		}
 	})
-	if err == nil || !strings.Contains(err.Error(), "exceeds eager limit") {
-		t.Fatalf("err = %v", err)
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestSendMRRangeValidation(t *testing.T) {
-	e := newEnv(t, Config{})
-	mr, err := e.w.Rank(0).PD().RegMR(make([]byte, 100))
-	if err != nil {
-		t.Fatal(err)
-	}
-	err = e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	e := newEnv(t, ucx.Config{})
+	mr := e.regMem(t, 0, make([]byte, 100))
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		if r.ID() == 0 {
-			e.ts[0].SendMR(p, 1, 1, mr, 50, 100)
+			if err := e.ts[0].SendMR(p, 1, 1, mr, 50, 100); !errors.Is(err, xport.ErrMemBounds) {
+				t.Errorf("out-of-range SendMR: err = %v, want ErrMemBounds", err)
+			}
 		}
 	})
-	if err == nil || !strings.Contains(err.Error(), "outside MR") {
-		t.Fatalf("err = %v", err)
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestBcopyChargesCopyCost(t *testing.T) {
 	// A bcopy send must take at least the modelled memcpy time on the
 	// sending proc.
-	e := newEnv(t, Config{CopyByteTime: 1.0}) // 1 ns/B
+	e := newEnv(t, ucx.Config{CopyByteTime: 1.0}) // 1 ns/B
 	var sendTook time.Duration
 	var got []received
 	collect(e.ts[1], &got)
@@ -353,7 +361,7 @@ func TestBcopyChargesCopyCost(t *testing.T) {
 }
 
 func TestBidirectionalTraffic(t *testing.T) {
-	e := newEnv(t, Config{})
+	e := newEnv(t, ucx.Config{})
 	var got0, got1 []received
 	collect(e.ts[0], &got0)
 	collect(e.ts[1], &got1)
@@ -378,27 +386,20 @@ func TestBidirectionalTraffic(t *testing.T) {
 func TestRendezvousGetScheme(t *testing.T) {
 	// UCX_RNDV_SCHEME=get: the receiver RDMA-reads the sender's memory
 	// directly from the RTS; no CTS/write round trip.
-	e := newEnv(t, Config{RndvScheme: "get"})
-	r0, r1 := e.w.Rank(0), e.w.Rank(1)
+	e := newEnv(t, ucx.Config{RndvScheme: "get"})
 	src := make([]byte, 512<<10)
 	for i := range src {
 		src[i] = byte(i * 11)
 	}
-	smr, err := r0.PD().RegMR(src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	smr := e.regMem(t, 0, src)
 	dst := make([]byte, len(src))
-	dmr, err := r1.PD().RegMR(dst)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dmr := e.regMem(t, 1, dst)
 	done := false
 	e.ts[1].SetRndv(
-		func(from int, header uint64, size int) (*ibv.MR, int, bool) { return dmr, 0, true },
+		func(from int, header uint64, size int) (xport.Mem, int, bool) { return dmr, 0, true },
 		func(from int, header uint64, size int) { done = true },
 	)
-	err = e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
 			e.ts[0].SendMR(p, 1, 55, smr, 0, len(src))
@@ -420,10 +421,10 @@ func TestRendezvousGetScheme(t *testing.T) {
 }
 
 func TestRndvSchemeValidation(t *testing.T) {
-	if err := (Config{RndvScheme: "teleport"}).Validate(); err == nil {
+	if err := (ucx.Config{RndvScheme: "teleport"}).Validate(); err == nil {
 		t.Fatal("unknown rendezvous scheme accepted")
 	}
-	if err := (Config{RndvScheme: "get"}).Validate(); err != nil {
+	if err := (ucx.Config{RndvScheme: "get"}).Validate(); err != nil {
 		t.Fatal(err)
 	}
 }

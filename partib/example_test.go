@@ -17,9 +17,13 @@ func Example() {
 		tag   = 1
 	)
 	job := partib.NewJob(partib.JobConfig{Nodes: 2})
-	engines := []*partib.Engine{
-		partib.NewEngine(job.Rank(0)),
-		partib.NewEngine(job.Rank(1)),
+	engines := make([]*partib.Engine, 2)
+	for i := range engines {
+		eng, err := partib.NewEngine(job.Rank(i))
+		if err != nil {
+			panic(err)
+		}
+		engines[i] = eng
 	}
 	src := make([]byte, total)
 	dst := make([]byte, total)

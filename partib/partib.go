@@ -9,7 +9,7 @@
 //	job := partib.NewJob(partib.JobConfig{Nodes: 2})
 //	engines := make([]*partib.Engine, job.Size())
 //	for i := range engines {
-//	    engines[i] = partib.NewEngine(job.Rank(i))
+//	    engines[i], _ = partib.NewEngine(job.Rank(i))
 //	}
 //	err := job.Run(func(p *partib.Proc, r *partib.Rank) {
 //	    eng := engines[r.ID()]
@@ -105,9 +105,14 @@ func NewJob(cfg JobConfig) *World {
 	return mpi.NewWorld(mpi.Config{Cluster: cl, RanksPerNode: cfg.RanksPerNode})
 }
 
-// NewEngine creates the partitioned-communication module for a rank.
-// Create exactly one per rank.
-func NewEngine(r *Rank) *Engine { return core.NewEngine(r) }
+// NewEngine creates the partitioned-communication module for a rank over
+// the default ("verbs") transport provider. Create exactly one per rank.
+func NewEngine(r *Rank) (*Engine, error) { return core.NewEngine(r, "") }
+
+// NewEngineOn is NewEngine over a named transport provider ("verbs",
+// "ucx", "shm"). Providers register themselves at init time; unknown
+// names return xport.ErrUnknownProvider.
+func NewEngineOn(r *Rank, provider string) (*Engine, error) { return core.NewEngine(r, provider) }
 
 // NewGroup returns a Group bound to the job's engine, for joining
 // simulated threads spawned with SpawnThread.

@@ -8,14 +8,32 @@ import (
 	"repro/partib"
 )
 
+func mustEngine(t *testing.T, r *partib.Rank) *partib.Engine {
+	t.Helper()
+	eng, err := partib.NewEngine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func mustComm(t *testing.T, r *partib.Rank) *partib.Comm {
+	t.Helper()
+	c, err := partib.NewComm(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 // TestPublicAPIRoundTrip is the quickstart flow through the public facade
 // only: a timer-aggregated partitioned send with simulated threads.
 func TestPublicAPIRoundTrip(t *testing.T) {
 	const parts, total = 8, 64 << 10
 	job := partib.NewJob(partib.JobConfig{Nodes: 2})
 	engines := []*partib.Engine{
-		partib.NewEngine(job.Rank(0)),
-		partib.NewEngine(job.Rank(1)),
+		mustEngine(t, job.Rank(0)),
+		mustEngine(t, job.Rank(1)),
 	}
 	src := make([]byte, total)
 	for i := range src {
@@ -89,12 +107,12 @@ func TestLinkBandwidthPositive(t *testing.T) {
 func TestMixedPartitionedAndPt2pt(t *testing.T) {
 	job := partib.NewJob(partib.JobConfig{Nodes: 2})
 	engines := []*partib.Engine{
-		partib.NewEngine(job.Rank(0)),
-		partib.NewEngine(job.Rank(1)),
+		mustEngine(t, job.Rank(0)),
+		mustEngine(t, job.Rank(1)),
 	}
 	comms := []*partib.Comm{
-		partib.NewComm(job.Rank(0)),
-		partib.NewComm(job.Rank(1)),
+		mustComm(t, job.Rank(0)),
+		mustComm(t, job.Rank(1)),
 	}
 	const parts, total = 4, 16 << 10
 	src := make([]byte, total)
@@ -180,7 +198,7 @@ func TestCollectivesFacade(t *testing.T) {
 	job := partib.NewJob(partib.JobConfig{Nodes: 3})
 	colls := make([]*partib.Coll, job.Size())
 	for i := range colls {
-		colls[i] = partib.NewColl(partib.NewComm(job.Rank(i)))
+		colls[i] = partib.NewColl(mustComm(t, job.Rank(i)))
 	}
 	sums := make([]float64, job.Size())
 	err := job.Run(func(p *partib.Proc, r *partib.Rank) {
@@ -202,7 +220,7 @@ func TestCollectivesFacade(t *testing.T) {
 
 func TestLayeredFacade(t *testing.T) {
 	job := partib.NewJob(partib.JobConfig{Nodes: 2})
-	comms := []*partib.Comm{partib.NewComm(job.Rank(0)), partib.NewComm(job.Rank(1))}
+	comms := []*partib.Comm{mustComm(t, job.Rank(0)), mustComm(t, job.Rank(1))}
 	src := []byte{1, 2, 3, 4}
 	dst := make([]byte, 4)
 	err := job.Run(func(p *partib.Proc, r *partib.Rank) {

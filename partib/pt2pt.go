@@ -19,7 +19,11 @@ const (
 	AnyTag    = pt2pt.AnyTag
 )
 
-// NewComm creates the point-to-point engine for a rank. It runs on its own
-// control channel, so it coexists with a partitioned Engine on the same
-// rank.
-func NewComm(r *Rank) *Comm { return pt2pt.New(r, nil) }
+// NewComm creates the point-to-point engine for a rank over the default
+// ("verbs") transport provider. It runs on its own control channel, so it
+// coexists with a partitioned Engine on the same rank.
+func NewComm(r *Rank) (*Comm, error) { return pt2pt.New(r, "") }
+
+// NewCommOn is NewComm over a named transport provider ("verbs", "ucx",
+// "shm").
+func NewCommOn(r *Rank, provider string) (*Comm, error) { return pt2pt.New(r, provider) }
