@@ -1,15 +1,25 @@
 # Development entry points. `make check` is what CI runs on every PR:
-# vet + build + full test suite, plus the race detector over the
-# shared-memory sweep-orchestration layer and its heaviest user.
+# vet + the partlint analyzer suite + build + full test suite, plus the
+# race detector over the shared-memory sweep-orchestration layer and its
+# heaviest user.
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race conformance importgate bench bench-hotpath bench-parallel bench-compare
+.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare
 
-check: vet build test race conformance importgate
+check: vet lint build test race conformance
 
 vet:
 	$(GO) vet ./...
+
+# partlint is the repository's own analyzer suite (DESIGN.md §10): hot-path
+# allocation gates, sim determinism, the transport SPI import gate (real
+# import graph, aliased and transitive imports included), the typed-error
+# no-panic contract, and the completion-callback blocking check. It runs
+# through the go vet driver so results are cached per package.
+lint:
+	$(GO) build -o bin/partlint ./cmd/partlint
+	$(GO) vet -vettool=$(CURDIR)/bin/partlint ./...
 
 # staticcheck is not vendored; install with:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
@@ -22,27 +32,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The sweep pool and the tuning search are the only layers where multiple
-# goroutines touch shared memory; everything below them is one engine per
-# goroutine. Race-check them on every PR.
+# The sweep pool and the tuning search are the layers where multiple
+# goroutines touch shared memory; core and the mpi harness ride under
+# them in parallel sweeps, so race-check all four on every PR.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/tuning/...
+	$(GO) test -race ./internal/sweep/... ./internal/tuning/... ./internal/core/... ./internal/mpi/...
 
 # Provider-conformance suite: every transport backend (verbs, ucx, shm)
 # against the same SPI contract, including under the race detector.
 conformance:
 	$(GO) test ./internal/xport/...
 	$(GO) test -race ./internal/xport/...
-
-# The aggregation strategies and messaging layers must talk to transports
-# only through the SPI: no direct backend imports.
-importgate:
-	@if grep -rn '"repro/internal/ibv"\|"repro/internal/ucx"' \
-		internal/core internal/pt2pt internal/mpipcl; then \
-		echo "importgate: core/pt2pt/mpipcl must import only internal/xport"; \
-		exit 1; \
-	fi
-	@echo "importgate: clean"
 
 # Hot-path allocation gates and benchmarks: the AllocsPerRun regression
 # tests assert the sim typed-event and fabric message paths stay at zero

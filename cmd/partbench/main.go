@@ -142,7 +142,7 @@ func main() {
 			// One worker or one core: a second pass would time the
 			// identical serial workload again. Run once, record
 			// speedup: null.
-			m := sweep.StartMeasure()
+			m := sweep.StartMeasure(time.Now)
 			if err := runSuite(names, cfg, &parallelOut, *csvDir); err != nil {
 				fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
 				os.Exit(1)
@@ -153,7 +153,7 @@ func main() {
 			serialCfg := cfg
 			serialCfg.Jobs = 1
 			serialCfg.Progress = nil
-			m := sweep.StartMeasure()
+			m := sweep.StartMeasure(time.Now)
 			var serialOut strings.Builder
 			if err := runSuite(names, serialCfg, &serialOut, ""); err != nil {
 				fmt.Fprintf(os.Stderr, "partbench: serial pass: %v\n", err)
@@ -161,7 +161,7 @@ func main() {
 			}
 			serialSec, _, _ := m.Stop()
 
-			m = sweep.StartMeasure()
+			m = sweep.StartMeasure(time.Now)
 			if err := runSuite(names, cfg, &parallelOut, *csvDir); err != nil {
 				fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
 				os.Exit(1)
@@ -253,7 +253,7 @@ func runHotpath(path string) error {
 		{Strategy: core.StrategyPLogGP},
 		{Strategy: core.StrategyTimerPLogGP},
 	}
-	m := sweep.StartMeasure()
+	m := sweep.StartMeasure(time.Now)
 	for _, size := range sizes {
 		for _, opts := range strategies {
 			cfg := bench.P2PConfig{Parts: 32, Bytes: size, Warmup: 10, Iters: 200, Opts: opts}

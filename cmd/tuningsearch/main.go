@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -85,7 +86,7 @@ func main() {
 			// One worker or one core: a second pass would time the
 			// identical serial workload again. Run once, record
 			// speedup: null.
-			m := sweep.StartMeasure()
+			m := sweep.StartMeasure(time.Now)
 			var err error
 			parallelOut, err = render(cfg)
 			if err != nil {
@@ -99,7 +100,7 @@ func main() {
 			serialCfg := cfg
 			serialCfg.Workers = 1
 			serialCfg.Progress = nil
-			m := sweep.StartMeasure()
+			m := sweep.StartMeasure(time.Now)
 			serialOut, err := render(serialCfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tuningsearch: serial pass: %v\n", err)
@@ -107,7 +108,7 @@ func main() {
 			}
 			serialSec, _, _ := m.Stop()
 
-			m = sweep.StartMeasure()
+			m = sweep.StartMeasure(time.Now)
 			parallelOut, err = render(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)

@@ -1,0 +1,188 @@
+// Package analysis is a dependency-free substitute for the parts of
+// golang.org/x/tools/go/analysis this repository's static checkers need.
+// The toolchain here is hermetic (no module downloads), so the suite is
+// built on the standard library's go/ast, go/types, and go/importer only:
+// an Analyzer is a named Run function over a type-checked package, a Pass
+// carries the package plus cross-package facts, and drivers (cmd/partlint
+// for `go vet -vettool`, the analysistest harness for fixtures) construct
+// passes and collect diagnostics.
+//
+// The deliberate differences from x/tools are small: facts are a single
+// JSON-serializable ImportFacts value per package (only xportgate needs
+// them), and suppression is a line-level `//partlint:allow <analyzer>`
+// comment instead of //lint:ignore directives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver comments.
+	Name string
+	// Doc is the one-paragraph description printed by partlint's usage.
+	Doc string
+	// Run executes the check, reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+// ImportFacts is the per-package fact the xportgate analyzer exports:
+// for each forbidden backend package this package transitively reaches
+// (without passing through a sanctioned boundary), the import chain that
+// reaches it. Facts serialize as JSON into the vetx files `go vet`
+// threads between dependent packages.
+type ImportFacts struct {
+	// Reaches maps a forbidden import path to the chain of import paths
+	// leading to it, starting with this package's direct import.
+	Reaches map[string][]string `json:"reaches,omitempty"`
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the package's source-level import path (the path the
+	// scope rules match against).
+	ImportPath string
+
+	// DepFacts holds the ImportFacts of dependency packages, keyed by
+	// source-level import path. Only populated for analyzers that declare
+	// NeedsFacts in the registry; absent entries mean the dependency
+	// exported no facts.
+	DepFacts map[string]ImportFacts
+
+	// ExportFacts, when set by the analyzer, is persisted by the driver
+	// for dependent packages' passes.
+	ExportFacts *ImportFacts
+
+	// diags collects findings; waived lines are dropped at report time.
+	diags  []Diagnostic
+	waived map[string]map[int]bool // filename -> line -> waived
+}
+
+// NewPass builds a pass over a type-checked package, pre-indexing
+// `//partlint:allow <name>` waiver comments for the analyzer.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string, depFacts map[string]ImportFacts) *Pass {
+	p := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		ImportPath: importPath,
+		DepFacts:   depFacts,
+		waived:     map[string]map[int]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "partlint:allow") {
+					continue
+				}
+				// Anything after the analyzer name is the rationale.
+				fields := strings.Fields(strings.TrimPrefix(text, "partlint:allow"))
+				if len(fields) == 0 || (fields[0] != a.Name && fields[0] != "all") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := p.waived[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					p.waived[pos.Filename] = m
+				}
+				// A waiver covers its own line and the next one, so it
+				// works both as a trailing comment and on the line above.
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding at pos unless the line carries a
+// `//partlint:allow` waiver for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if m := p.waived[position.Filename]; m != nil && m[position.Line] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: position, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings in file/line order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.Slice(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file. The
+// suite's invariants target production code; tests are free to panic,
+// block, and allocate.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// PkgFuncOf resolves a call expression to a function or method
+// declaration in the same package, or nil (builtin, imported, or
+// dynamic). Shared by analyzers that walk intra-package call graphs.
+func (p *Pass) PkgFuncOf(call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return decls[obj]
+}
+
+// FuncDecls indexes the package's function and method declarations by
+// their types.Object, for call-graph resolution.
+func (p *Pass) FuncDecls() map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj := p.TypesInfo.Defs[fd.Name]; obj != nil {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}

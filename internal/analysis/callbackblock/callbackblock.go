@@ -1,0 +1,200 @@
+// Package callbackblock forbids blocking operations inside completion
+// callbacks registered with the progress engine. Callbacks run at event
+// context inside the progress drain: the draining proc holds the
+// progress try-lock, and a callback that parks — a channel operation, a
+// mutex acquire, a sim condition wait, a virtual-time sleep — deadlocks
+// every rank polling that engine. Callbacks must record state and wake
+// waiters; anything that can park belongs on the caller side of the
+// completion boundary.
+//
+// Registration sites are recognized by shape: an OnCompletion field in a
+// composite literal (the xport.EndpointConfig pattern), and arguments to
+// SetEagerHandler, SetRndv, and HandleCtrl calls. The check follows
+// same-package calls transitively from each registered function.
+package callbackblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags blocking operations reachable from completion callbacks.
+var Analyzer = &analysis.Analyzer{
+	Name: "callbackblock",
+	Doc: "forbid blocking operations (channel ops, mutex locks, sim waits, sleeps) " +
+		"inside completion callbacks registered with the progress engine",
+	Run: run,
+}
+
+// registrarCalls name the methods whose function-valued arguments become
+// progress-engine callbacks.
+var registrarCalls = map[string]bool{
+	"SetEagerHandler": true,
+	"SetRndv":         true,
+	"HandleCtrl":      true,
+}
+
+// simBlocking names methods of the simulation runtime that park the
+// calling proc, per receiver package suffix.
+var simBlocking = map[string]bool{
+	"Wait": true, "WaitTimeout": true, "WaitOn": true,
+	"Acquire": true, "Sleep": true, "Barrier": true,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := pass.FuncDecls()
+	seen := map[*ast.FuncDecl]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name == "OnCompletion" {
+					checkCallbackExpr(pass, decls, seen, n.Value, "OnCompletion")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !registrarCalls[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isFuncValued(pass, arg) {
+						checkCallbackExpr(pass, decls, seen, arg, sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFuncValued(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// checkCallbackExpr resolves a registered callback expression to its
+// body (a func literal or a same-package method value) and checks it.
+func checkCallbackExpr(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, seen map[*ast.FuncDecl]bool, e ast.Expr, registrar string) {
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		checkBody(pass, decls, seen, e.Body, registrar+" callback")
+	case *ast.Ident:
+		if fd := declOf(pass, decls, e); fd != nil && !seen[fd] {
+			seen[fd] = true
+			checkBody(pass, decls, seen, fd.Body, fd.Name.Name)
+		}
+	case *ast.SelectorExpr:
+		if fd := declOf(pass, decls, e.Sel); fd != nil && !seen[fd] {
+			seen[fd] = true
+			checkBody(pass, decls, seen, fd.Body, fd.Name.Name)
+		}
+	}
+}
+
+func declOf(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, id *ast.Ident) *ast.FuncDecl {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return decls[obj]
+}
+
+// checkBody walks one callback body, flagging blocking operations and
+// following same-package calls.
+func checkBody(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, seen map[*ast.FuncDecl]bool, body *ast.BlockStmt, origin string) {
+	if body == nil {
+		return
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure defined here runs later, not inside this
+			// callback; if it is itself registered as a callback, the
+			// registration-site checks catch it with the right origin.
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in completion callback %s would deadlock the progress drain", origin)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive in completion callback %s would deadlock the progress drain", origin)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				pass.Reportf(n.Pos(), "blocking select in completion callback %s would deadlock the progress drain", origin)
+			}
+			// The comm statements belong to the select (whose blocking
+			// behavior was just judged); only the clause bodies can
+			// introduce further blocking.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Reportf(n.Pos(), "range over channel in completion callback %s would deadlock the progress drain", origin)
+				}
+			}
+		case *ast.CallExpr:
+			checkCallSite(pass, decls, seen, n, origin)
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCallSite(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, seen map[*ast.FuncDecl]bool, call *ast.CallExpr, origin string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if ok {
+		// time.Sleep blocks the OS thread driving the engine.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkgName.Imported().Path() == "time" && sel.Sel.Name == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep in completion callback %s would stall the progress drain", origin)
+				return
+			}
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			pkg := fn.Pkg().Path()
+			name := fn.Name()
+			switch {
+			case pkg == "sync" && (name == "Lock" || name == "RLock"):
+				pass.Reportf(call.Pos(), "sync mutex %s in completion callback %s would deadlock the progress drain", name, origin)
+				return
+			case (strings.HasSuffix(pkg, "internal/sim") || strings.HasSuffix(pkg, "internal/mpi")) && simBlocking[name]:
+				pass.Reportf(call.Pos(), "blocking %s.%s in completion callback %s would deadlock the progress drain", pkg[strings.LastIndex(pkg, "/")+1:], name, origin)
+				return
+			}
+		}
+	}
+	// Follow same-package callees.
+	if fd := pass.PkgFuncOf(call, decls); fd != nil && !seen[fd] {
+		seen[fd] = true
+		checkBody(pass, decls, seen, fd.Body, origin)
+	}
+}

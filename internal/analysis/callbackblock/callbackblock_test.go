@@ -1,0 +1,12 @@
+package callbackblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/callbackblock"
+)
+
+func TestCallbackBlock(t *testing.T) {
+	analysistest.Run(t, callbackblock.Analyzer, "a")
+}

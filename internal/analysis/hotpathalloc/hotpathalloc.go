@@ -1,0 +1,210 @@
+// Package hotpathalloc enforces the allocation-free contract of the
+// engine's hot paths. Functions annotated with a `//partib:hotpath` doc
+// comment run once per simulation event, per completion, or per posted
+// work request; the repository's AllocsPerRun gates prove they do not
+// allocate at runtime, and this analyzer catches the same regressions at
+// compile time — before a benchmark ever runs — by flagging the
+// constructs that make the compiler heap-allocate.
+//
+// A cold branch inside a hot function (a free-list miss, a fatal error
+// path) may waive a finding with a trailing `//partlint:allow
+// hotpathalloc` comment; the waiver is the documentation.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags allocation-inducing constructs in annotated functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocation-inducing constructs (escaping composite literals, make/new, " +
+		"append growth, fmt calls, closures, interface boxing, string concatenation) " +
+		"in functions annotated //partib:hotpath",
+	Run: run,
+}
+
+// annotation marks a function as part of the allocation-free hot path.
+const annotation = "//partib:hotpath"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == annotation {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path %s takes the address of a composite literal, which escapes to the heap", name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s builds a %s literal, which allocates its backing store", name, kindOf(t))
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s defines a closure, which allocates its captures", name)
+			return false // the closure body is cold until proven otherwise
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded at compile time
+				}
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "hot path %s concatenates strings, which allocates", name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkBoxingAssign(pass, name, n)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path %s starts a goroutine, which allocates a stack", name)
+		}
+		return true
+	})
+}
+
+func kindOf(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	// Builtins that allocate.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path %s calls make, which allocates", name)
+			case "new":
+				pass.Reportf(call.Pos(), "hot path %s calls new, which allocates", name)
+			case "append":
+				pass.Reportf(call.Pos(), "hot path %s calls append, which may grow the backing array", name)
+			}
+			return
+		}
+	}
+	// fmt.* always allocates (formatting state plus boxed operands).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "hot path %s calls fmt.%s, which allocates; use a pre-built value", name, sel.Sel.Name)
+				return
+			}
+		}
+	}
+	checkBoxingArgs(pass, name, call)
+}
+
+// checkBoxingArgs flags non-pointer concrete values passed to interface
+// parameters: the conversion copies the value to the heap.
+func checkBoxingArgs(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // type conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "hot path %s boxes a value into interface parameter %d, which allocates", name, i)
+		}
+	}
+}
+
+// checkBoxingAssign flags assignments that box a concrete non-pointer
+// value into an interface-typed location.
+func checkBoxingAssign(pass *analysis.Pass, name string, as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := pass.TypesInfo.TypeOf(as.Lhs[i])
+		if lt == nil {
+			continue
+		}
+		if boxes(pass, lt, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(), "hot path %s boxes a value into an interface, which allocates", name)
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a location of type dst
+// heap-allocates: dst is an interface and expr a concrete non-pointer,
+// non-nil value.
+func boxes(pass *analysis.Pass, dst types.Type, expr ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	at := pass.TypesInfo.TypeOf(expr)
+	if at == nil {
+		return false
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return false
+	}
+	return true
+}

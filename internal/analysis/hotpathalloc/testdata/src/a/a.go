@@ -1,0 +1,67 @@
+// Package a is a hotpathalloc fixture: one annotated function per
+// allocation class, plus unannotated and waived controls.
+package a
+
+import "fmt"
+
+type item struct{ v int }
+
+type ring struct {
+	buf  []*item
+	top  *item
+	slot item
+	sink any
+	err  error
+}
+
+var errFull = fmt.Errorf("a: ring full")
+
+//partib:hotpath
+func (r *ring) hot(n int) error {
+	x := &item{v: n} // want "takes the address of a composite literal"
+	r.top = x
+	s := []int{n} // want "builds a slice literal"
+	_ = s
+	m := make(map[int]int) // want "calls make"
+	_ = m
+	r.buf = append(r.buf, r.top) // want "calls append"
+	if n < 0 {
+		return fmt.Errorf("a: bad %d", n) // want "calls fmt.Errorf"
+	}
+	f := func() int { return n } // want "defines a closure"
+	_ = f
+	r.sink = n // want "boxes a value into an interface"
+	return errFull
+}
+
+//partib:hotpath
+func (r *ring) hotStore(n int) {
+	// Stores into existing memory are the sanctioned pattern: a plain
+	// struct literal assigned over a field does not allocate.
+	r.slot = item{v: n}
+}
+
+func box(v any) {}
+
+//partib:hotpath
+func hotArg(n int) {
+	box(n) // want "boxes a value into interface parameter"
+	box(nil)
+}
+
+//partib:hotpath
+func hotConcat(prefix string, n int) string {
+	s := prefix + "x" // want "concatenates strings"
+	const tag = "a" + "b"
+	_ = tag
+	return s
+}
+
+//partib:hotpath
+func waived() *item {
+	return new(item) //partlint:allow hotpathalloc — free-list miss path
+}
+
+func cold() []int {
+	return make([]int, 4)
+}

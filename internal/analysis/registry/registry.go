@@ -1,0 +1,75 @@
+// Package registry binds the partlint analyzers to the packages they
+// govern. It lives apart from the analyzer packages so that drivers
+// (cmd/partlint, tests) get the full suite plus scope rules from one
+// import, while each analyzer stays importable on its own.
+//
+// Scope rules are deliberately data, not code spread across drivers:
+//
+//   - hotpathalloc, callbackblock, xportgate run everywhere in the
+//     module — annotations and registration shapes only occur where the
+//     invariants apply, and xportgate must visit every package anyway to
+//     propagate reachability facts.
+//   - simdeterminism runs on the packages reachable from the simulator's
+//     virtual clock: the engine strategies, the fabric, the models, and
+//     the measurement/report layers that must stay replayable.
+//   - nopanic runs on the packages that adopted the typed-error
+//     contract; the simulator itself still panics on internal scheduler
+//     corruption by design.
+package registry
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callbackblock"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/nopanic"
+	"repro/internal/analysis/simdeterminism"
+	"repro/internal/analysis/xportgate"
+)
+
+// Check pairs an analyzer with the import paths it applies to.
+type Check struct {
+	Analyzer *analysis.Analyzer
+	// Applies reports whether the analyzer runs on the package. Drivers
+	// still invoke xportgate's Run on out-of-scope packages for fact
+	// propagation; Applies gates reporting scope only for the others.
+	Applies func(importPath string) bool
+}
+
+// module-wide scope: every package in this module.
+func allRepro(path string) bool {
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
+// simReachable lists the packages whose behavior must be a pure function
+// of the seed and the event order.
+var simReachable = map[string]bool{
+	"repro/internal/sim":    true,
+	"repro/internal/fabric": true,
+	"repro/internal/core":   true,
+	"repro/internal/loggp":  true,
+	"repro/internal/sweep":  true,
+	"repro/internal/bench":  true,
+}
+
+// typedError lists the packages under the typed-error contract
+// (see internal/core/errors.go).
+var typedError = map[string]bool{
+	"repro/partib":          true,
+	"repro/internal/core":   true,
+	"repro/internal/pt2pt":  true,
+	"repro/internal/mpipcl": true,
+}
+
+// Checks returns the full partlint suite with scope rules, in a stable
+// order.
+func Checks() []Check {
+	return []Check{
+		{Analyzer: hotpathalloc.Analyzer, Applies: allRepro},
+		{Analyzer: simdeterminism.Analyzer, Applies: func(p string) bool { return simReachable[p] }},
+		{Analyzer: xportgate.Analyzer, Applies: allRepro},
+		{Analyzer: nopanic.Analyzer, Applies: func(p string) bool { return typedError[p] }},
+		{Analyzer: callbackblock.Analyzer, Applies: allRepro},
+	}
+}

@@ -1,0 +1,121 @@
+// Package simdeterminism keeps the simulation core bit-reproducible. The
+// repository's benchmark tables and regression gates all assume a run is
+// a pure function of its configuration: the sweep harness compares
+// serial and parallel passes byte-for-byte, and the tuning table is
+// committed on the promise that regenerating it is deterministic. Three
+// things silently break that promise — wall-clock reads, the global
+// math/rand stream, and emitting output while ranging over a map — and
+// this analyzer forbids all three in sim-reachable packages.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags nondeterminism sources in simulation-reachable code.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock reads, math/rand, and map-range-ordered emissions " +
+		"in sim-reachable packages; wall time enters via injected clocks at the CLI boundary",
+	Run: run,
+}
+
+// bannedTimeFuncs are the package-level time functions that read or
+// depend on the wall clock. time.Duration arithmetic and time.Time
+// values passed in from the boundary remain fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// emissionAllowlist are callees allowed inside a map range: pure
+// formatting and the collect-then-sort builtins. Anything else (writers,
+// channel sends via function, appends to external state through methods)
+// is treated as an ordered emission.
+var emissionAllowlist = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in a sim-reachable package: use a locally seeded generator so runs are reproducible", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTimeCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTimeCall flags calls to the banned time package functions.
+func checkTimeCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !bannedTimeFuncs[sel.Sel.Name] {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "time" {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.%s in a sim-reachable package: wall time must be injected at the CLI boundary (virtual time comes from sim.Proc)", sel.Sel.Name)
+}
+
+// checkMapRange flags map iterations whose body calls anything beyond
+// pure collection builtins and Sprint-family formatting: map order is
+// random per run, so any other call inside the loop is an emission in
+// nondeterministic order. The sanctioned shape is collect keys, sort,
+// then iterate the sorted slice.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); isBuiltin {
+				return true
+			}
+			// Type conversions don't emit.
+			if _, isType := pass.TypesInfo.Uses[fn].(*types.TypeName); isType {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to %s while ranging over a map: iteration order is nondeterministic; collect and sort keys first", fn.Name)
+		case *ast.SelectorExpr:
+			if emissionAllowlist[fn.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to %s while ranging over a map: iteration order is nondeterministic; collect and sort keys first", fn.Sel.Name)
+		}
+		return true
+	})
+}

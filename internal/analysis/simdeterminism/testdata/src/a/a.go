@@ -1,0 +1,51 @@
+// Package a is a simdeterminism fixture: a sim-reachable package that
+// reads the wall clock, draws from math/rand, and emits in map order.
+package a
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand in a sim-reachable package"
+	"sort"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in a sim-reachable package"
+}
+
+func pause(epoch time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want "time.Sleep in a sim-reachable package"
+	return time.Since(epoch)     // want "time.Since in a sim-reachable package"
+}
+
+func draw() int {
+	return rand.Int()
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "call to Println while ranging over a map"
+	}
+}
+
+func emitLocal(m map[string]int, out func(string)) {
+	for k := range m {
+		out(k) // want "call to out while ranging over a map"
+	}
+}
+
+// collectSorted is the sanctioned shape: collection builtins and
+// Sprintf inside the range, emission after sorting.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		keys = append(keys, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// later is fine: time.Duration math without reading the clock.
+func later(start time.Time, d time.Duration) time.Time {
+	return start.Add(d)
+}

@@ -1,0 +1,6 @@
+// Package deep is the first hop of a two-hop transitive leak.
+package deep
+
+import "repro/internal/deeper"
+
+func Chain() int { return deeper.Depth() }

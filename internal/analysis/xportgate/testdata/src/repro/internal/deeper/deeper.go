@@ -1,0 +1,6 @@
+// Package deeper is the second hop: it imports a concrete xport backend.
+package deeper
+
+import "repro/internal/xport/verbs"
+
+func Depth() int { return len(verbs.Provider{Name: "v"}.Name) }

@@ -1,0 +1,7 @@
+// Package helper leaks a backend: a neutral-looking utility package that
+// imports ucx, one hop from the gated package.
+package helper
+
+import "repro/internal/ucx"
+
+func Workers() []ucx.Worker { return nil }

@@ -1,0 +1,4 @@
+// Package ibv is a fixture stub for the verbs backend.
+package ibv
+
+type QP struct{ Num uint32 }

@@ -1,0 +1,10 @@
+// Package pt2pt is a clean gated fixture: only the SPI and the boundary
+// package, so the analyzer must stay silent.
+package pt2pt
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/xport"
+)
+
+func Wire(ep xport.Endpoint) { _ = mpi.Register() }

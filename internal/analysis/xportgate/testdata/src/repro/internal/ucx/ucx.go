@@ -1,0 +1,4 @@
+// Package ucx is a fixture stub for the ucx backend.
+package ucx
+
+type Worker struct{ ID int }

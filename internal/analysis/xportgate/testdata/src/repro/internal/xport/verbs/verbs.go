@@ -1,0 +1,4 @@
+// Package verbs is a fixture stub for the concrete verbs SPI backend.
+package verbs
+
+type Provider struct{ Name string }

@@ -1,0 +1,4 @@
+// Package xport is a fixture stub for the provider-neutral SPI.
+package xport
+
+type Endpoint interface{ Post(n int) error }

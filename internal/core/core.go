@@ -115,7 +115,27 @@ type Engine struct {
 	precvs       map[uint32]*Precv
 	pendingRecvs map[matchKey][]*Precv
 	unexpected   map[matchKey][]pendingSinit
+
+	// err records the first asynchronous protocol error. Completion and
+	// control-message callbacks run at event context with no caller to
+	// return to, so they record here and wake waiters; Start, Wait, Test,
+	// and the Pready family surface the error to the application.
+	err error
 }
+
+// fail records the first asynchronous protocol error and wakes every proc
+// parked on the rank so blocked Wait/Start calls observe it.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.r.Wake()
+}
+
+// Err returns the first asynchronous protocol error recorded on the
+// engine, or nil. Once set it is sticky: the module's state is undefined
+// after a protocol error, as after MPI_ERRORS_ARE_FATAL would have fired.
+func (e *Engine) Err() error { return e.err }
 
 type pendingSinit struct {
 	from int
@@ -190,7 +210,8 @@ func (e *Engine) onRinit(from int, data any) {
 	msg := data.(rinitMsg)
 	ps, ok := e.psends[msg.peerReq]
 	if !ok {
-		panic(fmt.Sprintf("core: rinit for unknown request %d on rank %d", msg.peerReq, e.r.ID()))
+		e.fail(fmt.Errorf("%w: rinit for request %d on rank %d", ErrUnknownRequest, msg.peerReq, e.r.ID()))
+		return
 	}
 	ps.completeHandshake(msg)
 }
@@ -200,7 +221,8 @@ func (e *Engine) onCredit(from int, data any) {
 	msg := data.(creditMsg)
 	ps, ok := e.psends[msg.peerReq]
 	if !ok {
-		panic(fmt.Sprintf("core: credit for unknown request %d on rank %d", msg.peerReq, e.r.ID()))
+		e.fail(fmt.Errorf("%w: credit for request %d on rank %d", ErrMalformedCredit, msg.peerReq, e.r.ID()))
+		return
 	}
 	ps.credits++
 	e.r.Wake()
@@ -223,10 +245,13 @@ func (e *Engine) onBaselineEager(p *sim.Proc, from int, header uint64, data []by
 	recvReq, part := splitBaselineHeader(header)
 	pr, ok := e.precvs[recvReq]
 	if !ok {
-		panic(fmt.Sprintf("core: baseline arrival for unknown request %d", recvReq))
+		e.fail(fmt.Errorf("%w: baseline arrival for request %d", ErrUnknownRequest, recvReq))
+		return
 	}
 	copy(pr.buf[part*pr.partBytes:(part+1)*pr.partBytes], data)
-	pr.markArrived(part, 1)
+	if err := pr.markArrived(part, 1); err != nil {
+		e.fail(err)
+	}
 }
 
 // baselineRndvTarget resolves the landing zone of a rendezvous partition.
@@ -244,9 +269,13 @@ func (e *Engine) onBaselineRndvDone(from int, header uint64, size int) {
 	recvReq, part := splitBaselineHeader(header)
 	pr, ok := e.precvs[recvReq]
 	if !ok {
-		panic(fmt.Sprintf("core: baseline rndv completion for unknown request %d", recvReq))
+		e.fail(fmt.Errorf("%w: baseline rndv completion for request %d", ErrUnknownRequest, recvReq))
+		return
 	}
-	pr.markArrived(part, 1)
+	if err := pr.markArrived(part, 1); err != nil {
+		e.fail(err)
+		return
+	}
 	e.r.Wake()
 }
 
@@ -255,12 +284,14 @@ func (e *Engine) onBaselineRndvDone(from int, header uint64, size int) {
 // buffer coordinates. Runs at control-handler (event) context.
 func (e *Engine) match(pr *Precv, from int, msg sinitMsg) {
 	if msg.userParts != pr.userParts {
-		panic(fmt.Sprintf("core: partition count mismatch: sender %d, receiver %d (tag %d)",
-			msg.userParts, pr.userParts, pr.tag))
+		e.fail(fmt.Errorf("%w: partition count sender %d, receiver %d (tag %d)",
+			ErrSetupMismatch, msg.userParts, pr.userParts, pr.tag))
+		return
 	}
 	if msg.bytes != len(pr.buf) {
-		panic(fmt.Sprintf("core: buffer size mismatch: sender %d, receiver %d (tag %d)",
-			msg.bytes, len(pr.buf), pr.tag))
+		e.fail(fmt.Errorf("%w: buffer size sender %d, receiver %d (tag %d)",
+			ErrSetupMismatch, msg.bytes, len(pr.buf), pr.tag))
+		return
 	}
 	pr.strategy = msg.strategy
 	pr.transport = msg.transport
@@ -274,10 +305,12 @@ func (e *Engine) match(pr *Precv, from int, msg sinitMsg) {
 				OnCompletion: func(p *sim.Proc, c xport.Completion) { pr.onComp(p, epIdx, c) },
 			})
 			if err != nil {
-				panic(fmt.Sprintf("core: receiver NewEndpoint: %v", err))
+				e.fail(fmt.Errorf("core: receiver NewEndpoint: %w", err))
+				return
 			}
 			if err := ep.Connect(sdesc); err != nil {
-				panic(fmt.Sprintf("core: receiver Connect: %v", err))
+				e.fail(fmt.Errorf("core: receiver Connect: %w", err))
+				return
 			}
 			pr.eps = append(pr.eps, ep)
 		}

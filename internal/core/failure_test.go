@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"strings"
 	"testing"
 	"time"
 
@@ -11,8 +10,10 @@ import (
 )
 
 // TestReceiverQPErrorSurfaces: forcing a receiver QP into the error state
-// mid-round must surface as a completion error on some rank rather than a
-// silent hang or corruption.
+// mid-round must surface as ErrCompletionStatus from the receiver's Wait
+// (flushed receive WRs report error status through the completion
+// callback, which records on the engine) rather than a silent hang or
+// corruption.
 func TestReceiverQPErrorSurfaces(t *testing.T) {
 	e := newEnv()
 	const parts, total = 8, 64 << 10
@@ -20,7 +21,8 @@ func TestReceiverQPErrorSurfaces(t *testing.T) {
 	dst := make([]byte, total)
 	opts := Options{Strategy: StrategyPLogGP, TransportParts: 4}
 
-	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	var waitErr error
+	_ = e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
 			ps, err := e.eng[0].PsendInit(p, src, parts, 1, 1, opts)
@@ -43,15 +45,17 @@ func TestReceiverQPErrorSurfaces(t *testing.T) {
 			// but Desc exposes it for connection exchange; the verbs
 			// provider's desc supports fault injection.
 			pr.eps[0].Desc().(interface{ SetError() }).SetError()
-			pr.Wait(p)
+			waitErr = pr.Wait(p)
 		}
 	})
-	if err == nil {
+	if waitErr == nil {
 		t.Fatal("QP failure produced no error")
 	}
-	msg := err.Error()
-	if !strings.Contains(msg, "completion error") && !strings.Contains(msg, "flushed") {
-		t.Fatalf("unexpected failure surface: %v", err)
+	if !errors.Is(waitErr, ErrCompletionStatus) {
+		t.Fatalf("unexpected failure surface: %v, want ErrCompletionStatus", waitErr)
+	}
+	if !errors.Is(e.eng[1].Err(), ErrCompletionStatus) {
+		t.Fatalf("Engine.Err = %v, want ErrCompletionStatus", e.eng[1].Err())
 	}
 }
 

@@ -89,9 +89,13 @@ func (e *Engine) PrecvInit(p *sim.Proc, buf []byte, partitions, source, tag int,
 // Start arms the next round: arrival flags are cleared, receive work
 // requests are replenished (they are consumed by RDMA_WRITE_WITH_IMM, so
 // the worst case is one per user partition under the timer aggregator),
-// and the sender is granted the round.
-func (pr *Precv) Start(p *sim.Proc) {
-	pr.r.WaitOn(p, func() bool { return pr.matched })
+// and the sender is granted the round. It returns the engine's recorded
+// protocol error if the match failed or a replenish post was rejected.
+func (pr *Precv) Start(p *sim.Proc) error {
+	pr.r.WaitOn(p, func() bool { return pr.matched || pr.e.err != nil })
+	if err := pr.e.err; err != nil {
+		return err
+	}
 	p.Sleep(pr.r.World().Costs().StartOverhead)
 	pr.round++
 	for i := range pr.arrived {
@@ -118,43 +122,57 @@ func (pr *Precv) Start(p *sim.Proc) {
 			for pr.availWRs[q] < need[q] {
 				p.Sleep(recvPost)
 				if err := ep.PostRecv(&pr.recvWRs[q]); err != nil {
-					panic(fmt.Sprintf("core: PostRecv: %v", err))
+					return fmt.Errorf("core: PostRecv: %w", err)
 				}
 				pr.availWRs[q]++
 			}
 		}
 	}
 	pr.r.SendCtrl(pr.source, ctrlCredit, creditMsg{peerReq: pr.peerReq})
+	return nil
 }
 
 // onComp handles an arriving transport partition (receive completion on
 // one of the request's endpoints): the immediate encodes which contiguous
-// user partitions the WR carried.
+// user partitions the WR carried. It runs once per RDMA_WRITE_WITH_IMM
+// inside the progress engine's completion drain, so it must not allocate;
+// failures are recorded on the engine through pre-built typed errors.
+//
+//partib:hotpath
 func (pr *Precv) onComp(p *sim.Proc, epIdx int, c xport.Completion) {
 	if !c.OK() {
-		panic(fmt.Sprintf("core: receive completion error on rank %d: %v", pr.r.ID(), c.Status))
+		pr.e.fail(errRecvCompletion)
+		return
 	}
 	if c.Op != xport.CompRecvImm || !c.HasImm {
-		panic(fmt.Sprintf("core: unexpected receive completion %+v", c))
+		pr.e.fail(errRecvUnexpected)
+		return
 	}
 	start, count := DecodeImm(c.Imm)
 	pr.availWRs[epIdx]--
-	pr.markArrived(int(start), int(count))
+	if err := pr.markArrived(int(start), int(count)); err != nil {
+		pr.e.fail(err)
+	}
 }
 
 // markArrived sets the arrival flags for user partitions
-// [start, start+count).
-func (pr *Precv) markArrived(start, count int) {
+// [start, start+count). It runs on the completion drain path for every
+// arriving transport partition, so the error branches return pre-built
+// values instead of formatting.
+//
+//partib:hotpath
+func (pr *Precv) markArrived(start, count int) error {
 	if start < 0 || count < 1 || start+count > pr.userParts {
-		panic(fmt.Sprintf("core: arrival range [%d,%d) outside %d partitions", start, start+count, pr.userParts))
+		return errArrivalRange
 	}
 	for i := start; i < start+count; i++ {
 		if pr.arrived[i] {
-			panic(fmt.Sprintf("core: duplicate arrival for partition %d in round %d", i, pr.round))
+			return errDuplicateArrival
 		}
 		pr.arrived[i] = true
 	}
 	pr.arrivedCount += count
+	return nil
 }
 
 // Parrived reports whether user partition i has arrived, progressing the
@@ -168,6 +186,9 @@ func (pr *Precv) Parrived(p *sim.Proc, i int) (bool, error) {
 	if pr.arrived[i] {
 		return true, nil
 	}
+	if err := pr.e.err; err != nil {
+		return false, err
+	}
 	pr.r.Progress(p)
 	return pr.arrived[i], nil
 }
@@ -175,18 +196,27 @@ func (pr *Precv) Parrived(p *sim.Proc, i int) (bool, error) {
 // done reports whether every partition of the round has arrived.
 func (pr *Precv) done() bool { return pr.arrivedCount == pr.userParts }
 
-// Test progresses communication once and reports round completion.
-func (pr *Precv) Test(p *sim.Proc) bool {
+// Test progresses communication once and reports round completion. A
+// recorded protocol error surfaces as (false, err).
+func (pr *Precv) Test(p *sim.Proc) (bool, error) {
 	if pr.done() {
-		return true
+		return true, nil
+	}
+	if err := pr.e.err; err != nil {
+		return false, err
 	}
 	pr.r.Progress(p)
-	return pr.done()
+	return pr.done(), pr.e.err
 }
 
-// Wait blocks until every partition of the round has arrived.
-func (pr *Precv) Wait(p *sim.Proc) {
-	pr.r.WaitOn(p, pr.done)
+// Wait blocks until every partition of the round has arrived, or until
+// the engine records a protocol error, which it returns.
+func (pr *Precv) Wait(p *sim.Proc) error {
+	pr.r.WaitOn(p, func() bool { return pr.done() || pr.e.err != nil })
+	if !pr.done() {
+		return pr.e.err
+	}
+	return nil
 }
 
 // Arrived reports the number of partitions that have arrived this round.

@@ -151,11 +151,14 @@ func (ps *Psend) completeHandshake(msg rinitMsg) {
 	ps.remoteRKey = msg.rkey
 	if ps.opts.Strategy != StrategyBaseline {
 		if len(msg.descs) != len(ps.eps) {
-			panic(fmt.Sprintf("core: endpoint count mismatch in handshake: %d vs %d", len(msg.descs), len(ps.eps)))
+			ps.e.fail(fmt.Errorf("%w: endpoint count %d vs %d in handshake",
+				ErrSetupMismatch, len(msg.descs), len(ps.eps)))
+			return
 		}
 		for i, ep := range ps.eps {
 			if err := ep.Connect(msg.descs[i]); err != nil {
-				panic(fmt.Sprintf("core: sender Connect: %v", err))
+				ps.e.fail(fmt.Errorf("core: sender Connect: %w", err))
+				return
 			}
 		}
 	}
@@ -169,11 +172,13 @@ func (ps *Psend) Plan() Plan { return ps.plan }
 // Start arms the next communication round. The sender blocks until the
 // receiver has granted the round (flags cleared, receive WRs replenished);
 // for the first round this subsumes the paper's poll-until-remote-ready.
+// A protocol error recorded during the handshake or a previous round is
+// returned instead of blocking forever on a credit that cannot arrive.
 //
 // The per-transport-partition groups are built once and reset in place on
 // later rounds: the plan is fixed at init time, so re-arming a persistent
 // request allocates nothing.
-func (ps *Psend) Start(p *sim.Proc) {
+func (ps *Psend) Start(p *sim.Proc) error {
 	ps.round++
 	ps.sentParts = 0
 	ps.postedWRs = 0
@@ -201,10 +206,16 @@ func (ps *Psend) Start(p *sim.Proc) {
 	}
 	p.Sleep(ps.r.World().Costs().StartOverhead)
 	round := ps.round
-	ps.r.WaitOn(p, func() bool { return ps.connected && ps.credits >= round })
+	ps.r.WaitOn(p, func() bool {
+		return (ps.connected && ps.credits >= round) || ps.e.err != nil
+	})
+	if err := ps.e.err; err != nil {
+		return err
+	}
 	if ps.opts.Observer != nil {
 		ps.opts.Observer.PsendStart(ps.round, p.Now())
 	}
+	return nil
 }
 
 // Pready marks user partition i ready for transfer (callable from any
@@ -218,6 +229,9 @@ func (ps *Psend) Pready(p *sim.Proc, i int) error {
 	if ps.round == 0 {
 		return fmt.Errorf("%w: Pready before Start", ErrPartitionState)
 	}
+	if err := ps.e.err; err != nil {
+		return err
+	}
 	if ps.opts.Observer != nil {
 		ps.opts.Observer.PreadyCalled(ps.round, i, p.Now())
 	}
@@ -228,8 +242,7 @@ func (ps *Psend) Pready(p *sim.Proc, i int) error {
 	ps.flagLock.Release()
 
 	if ps.opts.Strategy == StrategyBaseline {
-		ps.baselinePready(p, i)
-		return nil
+		return ps.baselinePready(p, i)
 	}
 	g := ps.groups[ps.plan.groupOf(i)]
 	gi := i - g.start
@@ -240,13 +253,12 @@ func (ps *Psend) Pready(p *sim.Proc, i int) error {
 	g.arrived++
 
 	if ps.opts.Strategy == StrategyTimerPLogGP {
-		ps.timerPready(p, g, gi)
-		return nil
+		return ps.timerPready(p, g, gi)
 	}
 	// Tuning-table and PLogGP aggregators: post the group's single WR
 	// when every member partition has arrived.
 	if g.arrived == g.size {
-		ps.postRun(p, g, 0, g.size)
+		return ps.postRun(p, g, 0, g.size)
 	}
 	return nil
 }
@@ -288,24 +300,32 @@ func (ps *Psend) PbufPrepare(p *sim.Proc) {
 // active-message layer, holding the library's post lock for the duration
 // of the protocol send path — the lock contention the paper's
 // 128-partition runs expose.
-func (ps *Psend) baselinePready(p *sim.Proc, i int) {
+func (ps *Psend) baselinePready(p *sim.Proc, i int) error {
 	lock := ps.r.PostLock()
 	lock.Acquire(p)
-	if err := ps.e.msgr.SendMR(p, ps.dest, baselineHeader(ps.peerReq, i), ps.mr, i*ps.partBytes, ps.partBytes); err != nil {
-		panic(fmt.Sprintf("core: baseline SendMR: %v", err))
-	}
+	err := ps.e.msgr.SendMR(p, ps.dest, baselineHeader(ps.peerReq, i), ps.mr, i*ps.partBytes, ps.partBytes)
 	p.Sleep(ps.r.World().Costs().PostLockHold)
 	lock.Release()
+	if err != nil {
+		return fmt.Errorf("core: baseline SendMR: %w", err)
+	}
 	ps.sentParts++
 	ps.r.Wake()
+	return nil
 }
 
 // postRun posts one RDMA_WRITE_WITH_IMM covering user partitions
-// [g.start+lo, g.start+lo+count) and marks them sent.
-func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) {
+// [g.start+lo, g.start+lo+count) and marks them sent. It is the per-WR
+// send path of every aggregating strategy — one call per transport
+// partition per round — so it must not allocate: the gather list and work
+// request are request-owned scratch, and the error branches return
+// pre-built values.
+//
+//partib:hotpath
+func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) error {
 	for k := lo; k < lo+count; k++ {
 		if g.sent[k] || !g.ready[k] {
-			panic(fmt.Sprintf("core: postRun over partition %d in invalid state", g.start+k))
+			return errPostRunState
 		}
 		g.sent[k] = true
 	}
@@ -334,17 +354,23 @@ func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) {
 	err := ep.PostSend(&ps.wrScratch)
 	lock.Release()
 	if err != nil {
-		panic(fmt.Sprintf("core: PostSend transport partition: %v", err))
+		return fmt.Errorf("core: PostSend transport partition: %w", err) //partlint:allow hotpathalloc cold failure path, run is already lost
 	}
 	ps.postedWRs++
 	ps.sentParts += count
 	ps.r.Wake()
+	return nil
 }
 
-// onSendComp accounts a completed transport-partition WR.
+// onSendComp accounts a completed transport-partition WR. It runs inside
+// the progress engine's completion drain, so the failure branch records a
+// pre-built error on the engine instead of formatting one.
+//
+//partib:hotpath
 func (ps *Psend) onSendComp(p *sim.Proc, c xport.Completion) {
 	if !c.OK() {
-		panic(fmt.Sprintf("core: send completion error on rank %d: %v", ps.r.ID(), c.Status))
+		ps.e.fail(errSendCompletion)
+		return
 	}
 	ps.completedWRs++
 }
@@ -359,16 +385,25 @@ func (ps *Psend) done() bool {
 }
 
 // Test progresses communication once and reports whether the round is
-// complete, as MPI_Test does.
-func (ps *Psend) Test(p *sim.Proc) bool {
+// complete, as MPI_Test does. A recorded protocol error surfaces as
+// (false, err).
+func (ps *Psend) Test(p *sim.Proc) (bool, error) {
 	if ps.done() {
-		return true
+		return true, nil
+	}
+	if err := ps.e.err; err != nil {
+		return false, err
 	}
 	ps.r.Progress(p)
-	return ps.done()
+	return ps.done(), ps.e.err
 }
 
-// Wait blocks until the round completes, progressing communication.
-func (ps *Psend) Wait(p *sim.Proc) {
-	ps.r.WaitOn(p, ps.done)
+// Wait blocks until the round completes, progressing communication, or
+// until the engine records a protocol error, which it returns.
+func (ps *Psend) Wait(p *sim.Proc) error {
+	ps.r.WaitOn(p, func() bool { return ps.done() || ps.e.err != nil })
+	if !ps.done() {
+		return ps.e.err
+	}
+	return nil
 }

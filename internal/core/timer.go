@@ -15,17 +15,15 @@ import "repro/internal/sim"
 //     WRs in the figure's example);
 //   - threads arriving after expiry send their own partition immediately,
 //     merged with any adjacent arrived-but-unsent neighbours.
-func (ps *Psend) timerPready(p *sim.Proc, g *sendGroup, gi int) {
+func (ps *Psend) timerPready(p *sim.Proc, g *sendGroup, gi int) error {
 	if g.arrived == g.size {
 		// Last arrival for the group.
 		if !g.fired {
 			g.fired = true
 			g.cond.Broadcast() // release the sleeping first thread
-			ps.postReadyRuns(p, g)
-			return
+			return ps.postReadyRuns(p, g)
 		}
-		ps.postRunContaining(p, g, gi)
-		return
+		return ps.postRunContaining(p, g, gi)
 	}
 	if !g.armed {
 		// First arrival: sleep up to δ, periodically woken by the group
@@ -33,26 +31,26 @@ func (ps *Psend) timerPready(p *sim.Proc, g *sendGroup, gi int) {
 		g.armed = true
 		if g.cond.WaitTimeout(p, ps.opts.delta()) {
 			// Group completed during the sleep; the last thread sent it.
-			return
+			return nil
 		}
 		if g.fired {
 			// Completion raced the timeout at the same instant and won.
-			return
+			return nil
 		}
 		g.fired = true
-		ps.postReadyRuns(p, g)
-		return
+		return ps.postReadyRuns(p, g)
 	}
 	if g.fired {
-		ps.postRunContaining(p, g, gi)
+		return ps.postRunContaining(p, g, gi)
 	}
 	// Otherwise the timer is still armed: this partition will be covered
 	// by the timer expiry or by the last arrival.
+	return nil
 }
 
 // postReadyRuns posts one WR per maximal contiguous run of
 // arrived-but-unsent partitions in the group.
-func (ps *Psend) postReadyRuns(p *sim.Proc, g *sendGroup) {
+func (ps *Psend) postReadyRuns(p *sim.Proc, g *sendGroup) error {
 	i := 0
 	for i < g.size {
 		if !g.ready[i] || g.sent[i] {
@@ -63,14 +61,17 @@ func (ps *Psend) postReadyRuns(p *sim.Proc, g *sendGroup) {
 		for j < g.size && g.ready[j] && !g.sent[j] {
 			j++
 		}
-		ps.postRun(p, g, i, j-i)
+		if err := ps.postRun(p, g, i, j-i); err != nil {
+			return err
+		}
 		i = j
 	}
+	return nil
 }
 
 // postRunContaining posts the maximal contiguous arrived-but-unsent run
 // around group-relative index gi.
-func (ps *Psend) postRunContaining(p *sim.Proc, g *sendGroup, gi int) {
+func (ps *Psend) postRunContaining(p *sim.Proc, g *sendGroup, gi int) error {
 	lo := gi
 	for lo > 0 && g.ready[lo-1] && !g.sent[lo-1] {
 		lo--
@@ -79,5 +80,5 @@ func (ps *Psend) postRunContaining(p *sim.Proc, g *sendGroup, gi int) {
 	for hi < g.size && g.ready[hi] && !g.sent[hi] {
 		hi++
 	}
-	ps.postRun(p, g, lo, hi-lo)
+	return ps.postRun(p, g, lo, hi-lo)
 }

@@ -297,8 +297,11 @@ type flowMsg struct {
 }
 
 // Typed-event trampolines for the flow pipeline (see sim.AtCall).
+//partib:hotpath
 func fireFlowStep(_ sim.Time, arg any)    { arg.(*Flow).step() }
+//partib:hotpath
 func fireFlowDeliver(_ sim.Time, arg any) { arg.(*flowMsg).deliver() }
+//partib:hotpath
 func fireFlowAck(_ sim.Time, arg any)     { arg.(*flowMsg).ack() }
 
 // NewFlow creates a flow from src to dst. Loopback (src == dst) is allowed.
@@ -323,6 +326,7 @@ func (fl *Flow) Queued() int { return len(fl.queue) - fl.head }
 
 // Send enqueues a message on the flow. Zero-byte messages still traverse
 // the wire (headers move). Negative sizes panic.
+//partib:hotpath
 func (fl *Flow) Send(m Message) {
 	if m.Bytes < 0 {
 		panic("fabric: negative message size")
@@ -335,10 +339,10 @@ func (fl *Flow) Send(m Message) {
 		fl.free[n-1] = nil
 		fl.free = fl.free[:n-1]
 	} else {
-		fm = &flowMsg{fl: fl}
+		fm = &flowMsg{fl: fl} //partlint:allow hotpathalloc free-list miss; steady state recycles
 	}
 	fm.msg, fm.remaining, fm.lastArrival = m, m.Bytes, 0
-	fl.queue = append(fl.queue, fm)
+	fl.queue = append(fl.queue, fm) //partlint:allow hotpathalloc amortized; capacity is reused via queue[:0]
 	if !fl.active {
 		fl.active = true
 		fl.startHead()
@@ -347,12 +351,14 @@ func (fl *Flow) Send(m Message) {
 
 // release returns a flowMsg whose events have all fired to the free list,
 // dropping callback references so captured state can be collected.
+//partib:hotpath
 func (fl *Flow) release(fm *flowMsg) {
 	fm.msg = Message{}
-	fl.free = append(fl.free, fm)
+	fl.free = append(fl.free, fm) //partlint:allow hotpathalloc amortized free-list growth
 }
 
 // startHead begins WR processing for the message at the head of the queue.
+//partib:hotpath
 func (fl *Flow) startHead() {
 	e := fl.fab.eng
 	start := e.Now()
@@ -372,6 +378,7 @@ func (fl *Flow) startHead() {
 
 // step injects one burst of the head message, then schedules the next
 // action. It runs as an engine event.
+//partib:hotpath
 func (fl *Flow) step() {
 	e := fl.fab.eng
 	cfg := fl.fab.cfg
@@ -427,6 +434,7 @@ func (fl *Flow) step() {
 // requested, otherwise the delivery — the delivery event is scheduled
 // first, so with a zero AckLatency the FIFO seq tiebreak still runs it
 // before the ack).
+//partib:hotpath
 func (fl *Flow) finish(fm *flowMsg, egressEnd sim.Time) {
 	e := fl.fab.eng
 	cfg := fl.fab.cfg
@@ -451,6 +459,7 @@ func (fl *Flow) finish(fm *flowMsg, egressEnd sim.Time) {
 }
 
 // deliver runs at the instant the last byte is placed at the destination.
+//partib:hotpath
 func (fm *flowMsg) deliver() {
 	fm.fl.dst.bytesReceived += int64(fm.msg.Bytes)
 	if fn := fm.msg.OnDeliver; fn != nil {
@@ -462,6 +471,7 @@ func (fm *flowMsg) deliver() {
 }
 
 // ack runs when the sender's hardware completion would be generated.
+//partib:hotpath
 func (fm *flowMsg) ack() {
 	fn, at := fm.msg.OnAck, fm.ackAt
 	fm.fl.release(fm)

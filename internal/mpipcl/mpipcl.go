@@ -20,11 +20,28 @@ package mpipcl
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/pt2pt"
 	"repro/internal/sim"
+)
+
+// Typed errors returned by the layered library. Mirroring internal/core's
+// taxonomy, every failure surfaces as one of these (partlint's nopanic
+// analyzer forbids panicking here).
+var (
+	// ErrPartitionRange reports a partition index outside [0, partitions).
+	ErrPartitionRange = errors.New("mpipcl: partition index out of range")
+	// ErrPartitionState reports a lifecycle violation, such as Pready
+	// called twice for one partition in a round.
+	ErrPartitionState = errors.New("mpipcl: partition in wrong state")
+	// ErrSetupMismatch reports a sender/receiver disagreement on request
+	// shape discovered in the setup handshake.
+	ErrSetupMismatch = errors.New("mpipcl: sender/receiver setup mismatch")
+	// ErrTooManyRequests reports exhaustion of the per-rank tag region.
+	ErrTooManyRequests = errors.New("mpipcl: too many layered requests on one rank")
 )
 
 // Tag-space layout: the layered protocol lives far above application tags
@@ -98,16 +115,16 @@ var (
 	baseAlloc   = map[*pt2pt.Comm]int{}
 )
 
-func allocBase(c *pt2pt.Comm, parts int) int {
+func allocBase(c *pt2pt.Comm, parts int) (int, error) {
 	baseAllocMu.Lock()
 	defer baseAllocMu.Unlock()
 	idx := baseAlloc[c]
-	baseAlloc[c]++
 	if idx >= maxRequests {
-		panic("mpipcl: too many layered requests on one rank")
+		return 0, fmt.Errorf("%w: %d already allocated", ErrTooManyRequests, idx)
 	}
+	baseAlloc[c]++
 	// Each request reserves RoundRing*parts tags.
-	return tagDataBase + idx*(RoundRing*parts)
+	return tagDataBase + idx*(RoundRing*parts), nil
 }
 
 // PsendInit initializes a layered partitioned send. The handshake (setup
@@ -118,6 +135,10 @@ func PsendInit(p *sim.Proc, c *pt2pt.Comm, buf []byte, partitions, dest, tag int
 	if len(buf) == 0 || partitions < 1 || len(buf)%partitions != 0 {
 		return nil, fmt.Errorf("mpipcl: buffer of %d bytes not divisible into %d partitions", len(buf), partitions)
 	}
+	baseTag, err := allocBase(c, partitions)
+	if err != nil {
+		return nil, err
+	}
 	ps := &Psend{
 		c:         c,
 		buf:       buf,
@@ -125,7 +146,7 @@ func PsendInit(p *sim.Proc, c *pt2pt.Comm, buf []byte, partitions, dest, tag int
 		partBytes: len(buf) / partitions,
 		dest:      dest,
 		tag:       tag,
-		baseTag:   allocBase(c, partitions),
+		baseTag:   baseTag,
 		sent:      make([]bool, partitions),
 	}
 	if _, err := c.Isend(p, setupPayload(ps.baseTag, partitions, len(buf)), dest, tagSetupBase+tag); err != nil {
@@ -168,9 +189,11 @@ func roundTag(base, round, parts, i int) int {
 }
 
 // Start arms the sender's next round (first call completes the handshake).
-func (ps *Psend) Start(p *sim.Proc) {
+func (ps *Psend) Start(p *sim.Proc) error {
 	if !ps.acked {
-		ps.ackReq.Wait(p)
+		if err := ps.ackReq.Wait(p); err != nil {
+			return fmt.Errorf("mpipcl: setup ack: %w", err)
+		}
 		ps.acked = true
 	}
 	ps.round++
@@ -178,22 +201,26 @@ func (ps *Psend) Start(p *sim.Proc) {
 		ps.sent[i] = false
 	}
 	ps.nSent = 0
+	return nil
 }
 
-// Pready sends user partition i as one tagged message.
-func (ps *Psend) Pready(p *sim.Proc, i int) {
+// Pready sends user partition i as one tagged message. It returns
+// ErrPartitionRange when i is outside [0, partitions) and
+// ErrPartitionState when i was already marked ready this round.
+func (ps *Psend) Pready(p *sim.Proc, i int) error {
 	if i < 0 || i >= ps.userParts {
-		panic(fmt.Sprintf("mpipcl: Pready partition %d out of range", i))
+		return fmt.Errorf("%w: Pready partition %d outside [0,%d)", ErrPartitionRange, i, ps.userParts)
 	}
 	if ps.sent[i] {
-		panic(fmt.Sprintf("mpipcl: Pready called twice for partition %d", i))
+		return fmt.Errorf("%w: Pready called twice for partition %d in round %d", ErrPartitionState, i, ps.round)
 	}
 	ps.sent[i] = true
 	tag := roundTag(ps.baseTag, ps.round, ps.userParts, i)
 	if _, err := ps.c.Isend(p, ps.buf[i*ps.partBytes:(i+1)*ps.partBytes], ps.dest, tag); err != nil {
-		panic(fmt.Sprintf("mpipcl: Pready send: %v", err))
+		return fmt.Errorf("mpipcl: Pready send: %w", err)
 	}
 	ps.nSent++
+	return nil
 }
 
 // done reports sender-side round completion.
@@ -201,30 +228,45 @@ func (ps *Psend) done() bool {
 	return ps.nSent == ps.userParts && ps.c.Quiescent()
 }
 
-// Wait blocks until every partition of the round has been sent and flushed.
-func (ps *Psend) Wait(p *sim.Proc) { ps.c.Rank().WaitOn(p, ps.done) }
-
-// Test progresses once and reports completion.
-func (ps *Psend) Test(p *sim.Proc) bool {
+// Wait blocks until every partition of the round has been sent and
+// flushed, surfacing any protocol error recorded on the engine.
+func (ps *Psend) Wait(p *sim.Proc) error {
+	ps.c.Rank().WaitOn(p, func() bool { return ps.done() || ps.c.Err() != nil })
 	if !ps.done() {
-		ps.c.Rank().Progress(p)
+		return ps.c.Err()
 	}
-	return ps.done()
+	return nil
+}
+
+// Test progresses once and reports completion. A recorded protocol error
+// surfaces as (false, err).
+func (ps *Psend) Test(p *sim.Proc) (bool, error) {
+	if ps.done() {
+		return true, nil
+	}
+	if err := ps.c.Err(); err != nil {
+		return false, err
+	}
+	ps.c.Rank().Progress(p)
+	return ps.done(), ps.c.Err()
 }
 
 // Start arms the receiver's next round: one posted receive per partition
-// (first call completes the handshake and acks the sender).
-func (pr *Precv) Start(p *sim.Proc) {
+// (first call completes the handshake and acks the sender). A sender whose
+// shape disagrees with the receiver's surfaces as ErrSetupMismatch.
+func (pr *Precv) Start(p *sim.Proc) error {
 	if pr.setup != nil {
-		pr.setup.Wait(p)
+		if err := pr.setup.Wait(p); err != nil {
+			return fmt.Errorf("mpipcl: setup: %w", err)
+		}
 		baseTag, parts, bytes := parseSetup(pr.setupData)
 		if parts != pr.userParts || bytes != len(pr.buf) {
-			panic(fmt.Sprintf("mpipcl: setup mismatch: sender %d/%d, receiver %d/%d",
-				parts, bytes, pr.userParts, len(pr.buf)))
+			return fmt.Errorf("%w: sender %d/%d, receiver %d/%d",
+				ErrSetupMismatch, parts, bytes, pr.userParts, len(pr.buf))
 		}
 		pr.baseTag = baseTag
 		if _, err := pr.c.Isend(p, []byte{1}, pr.source, tagSetupBase+pr.tag); err != nil {
-			panic(fmt.Sprintf("mpipcl: setup ack: %v", err))
+			return fmt.Errorf("mpipcl: setup ack: %w", err)
 		}
 		pr.setup = nil
 	}
@@ -234,18 +276,20 @@ func (pr *Precv) Start(p *sim.Proc) {
 		tag := roundTag(pr.baseTag, pr.round, pr.userParts, i)
 		req, err := pr.c.Irecv(p, pr.buf[i*pr.partBytes:(i+1)*pr.partBytes], pr.source, tag)
 		if err != nil {
-			panic(fmt.Sprintf("mpipcl: Start Irecv: %v", err))
+			return fmt.Errorf("mpipcl: Start Irecv: %w", err)
 		}
 		pr.reqs = append(pr.reqs, req)
 	}
+	return nil
 }
 
-// Parrived reports whether partition i has arrived, progressing once.
-func (pr *Precv) Parrived(p *sim.Proc, i int) bool {
+// Parrived reports whether partition i has arrived, progressing once. It
+// returns ErrPartitionRange when i is outside the posted round.
+func (pr *Precv) Parrived(p *sim.Proc, i int) (bool, error) {
 	if i < 0 || i >= len(pr.reqs) {
-		panic(fmt.Sprintf("mpipcl: Parrived partition %d out of range", i))
+		return false, fmt.Errorf("%w: Parrived partition %d outside [0,%d)", ErrPartitionRange, i, len(pr.reqs))
 	}
-	return pr.reqs[i].Test(p)
+	return pr.reqs[i].Test(p), nil
 }
 
 // done reports receiver-side round completion.
@@ -258,13 +302,25 @@ func (pr *Precv) done() bool {
 	return true
 }
 
-// Wait blocks until every partition of the round has arrived.
-func (pr *Precv) Wait(p *sim.Proc) { pr.c.Rank().WaitOn(p, pr.done) }
-
-// Test progresses once and reports completion.
-func (pr *Precv) Test(p *sim.Proc) bool {
+// Wait blocks until every partition of the round has arrived, surfacing
+// any protocol error recorded on the engine.
+func (pr *Precv) Wait(p *sim.Proc) error {
+	pr.c.Rank().WaitOn(p, func() bool { return pr.done() || pr.c.Err() != nil })
 	if !pr.done() {
-		pr.c.Rank().Progress(p)
+		return pr.c.Err()
 	}
-	return pr.done()
+	return nil
+}
+
+// Test progresses once and reports completion. A recorded protocol error
+// surfaces as (false, err).
+func (pr *Precv) Test(p *sim.Proc) (bool, error) {
+	if pr.done() {
+		return true, nil
+	}
+	if err := pr.c.Err(); err != nil {
+		return false, err
+	}
+	pr.c.Rank().Progress(p)
+	return pr.done(), pr.c.Err()
 }

@@ -2,6 +2,7 @@ package mpipcl
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -145,11 +146,11 @@ func TestLayeredParrivedEarlyBird(t *testing.T) {
 			pr.Start(p)
 			p.Sleep(2 * time.Millisecond)
 			for i := 0; i < parts-1; i++ {
-				if pr.Parrived(p, i) {
+				if ok, _ := pr.Parrived(p, i); ok {
 					earlyCount++
 				}
 			}
-			if pr.Parrived(p, parts-1) {
+			if ok, _ := pr.Parrived(p, parts-1); ok {
 				t.Error("laggard arrived early")
 			}
 			pr.Wait(p)
@@ -184,22 +185,57 @@ func TestLayeredValidation(t *testing.T) {
 	}
 }
 
-func TestLayeredDoublePreadyPanics(t *testing.T) {
+func TestLayeredDoublePreadyFails(t *testing.T) {
 	e := newEnv()
+	var preadyErr error
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
 			ps, _ := PsendInit(p, e.cs[0], make([]byte, 1024), 4, 1, 0)
 			ps.Start(p)
 			ps.Pready(p, 0)
-			ps.Pready(p, 0)
+			preadyErr = ps.Pready(p, 0)
 		case 1:
 			pr, _ := PrecvInit(p, e.cs[1], make([]byte, 1024), 4, 0, 0)
 			pr.Start(p)
 		}
 	})
-	if err == nil {
-		t.Fatal("double Pready did not fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(preadyErr, ErrPartitionState) {
+		t.Fatalf("double Pready returned %v; want ErrPartitionState", preadyErr)
+	}
+}
+
+func TestLayeredPreadyRangeError(t *testing.T) {
+	e := newEnv()
+	var rangeErr, parrivedErr error
+	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
+		switch r.ID() {
+		case 0:
+			ps, _ := PsendInit(p, e.cs[0], make([]byte, 1024), 4, 1, 0)
+			ps.Start(p)
+			rangeErr = ps.Pready(p, 4)
+			for i := 0; i < 4; i++ {
+				ps.Pready(p, i)
+			}
+			ps.Wait(p)
+		case 1:
+			pr, _ := PrecvInit(p, e.cs[1], make([]byte, 1024), 4, 0, 0)
+			pr.Start(p)
+			_, parrivedErr = pr.Parrived(p, -1)
+			pr.Wait(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rangeErr, ErrPartitionRange) {
+		t.Fatalf("out-of-range Pready returned %v; want ErrPartitionRange", rangeErr)
+	}
+	if !errors.Is(parrivedErr, ErrPartitionRange) {
+		t.Fatalf("out-of-range Parrived returned %v; want ErrPartitionRange", parrivedErr)
 	}
 }
 

@@ -13,11 +13,24 @@
 package pt2pt
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/xport"
+)
+
+// Typed errors returned by the engine. Like internal/core, the package
+// reports every failure through these instead of panicking (enforced by
+// partlint's nopanic analyzer).
+var (
+	// ErrTruncated reports a message longer than the posted receive buffer
+	// (the MPI_ERR_TRUNCATE class).
+	ErrTruncated = errors.New("pt2pt: message truncated")
+	// ErrRndvProtocol reports a rendezvous protocol violation, such as a
+	// FIN with no matching landing zone.
+	ErrRndvProtocol = errors.New("pt2pt: rendezvous protocol violation")
 )
 
 // Wildcards for Recv matching.
@@ -49,7 +62,24 @@ type Comm struct {
 
 	// scratch tracks unexpected rendezvous arrivals between CTS and FIN.
 	scratch []scratchLanding
+
+	// err records the first asynchronous protocol error; handlers run at
+	// event context with no caller to return to, so they record here and
+	// blocking calls surface it.
+	err error
 }
+
+// fail records the first asynchronous protocol error and wakes waiters.
+func (c *Comm) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.r.Wake()
+}
+
+// Err returns the first asynchronous protocol error recorded on the
+// engine, or nil. Once set it is sticky.
+func (c *Comm) Err() error { return c.err }
 
 // envelope is an arrived, unmatched message held in the unexpected queue.
 type envelope struct {
@@ -204,7 +234,9 @@ func (c *Comm) Recv(p *sim.Proc, buf []byte, source, tag int) (int, int, int, er
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	req.Wait(p)
+	if err := req.Wait(p); err != nil {
+		return 0, 0, 0, err
+	}
 	return req.febSrc, req.febTag, req.febLen, nil
 }
 
@@ -231,12 +263,17 @@ func (r *RecvReq) complete(source, tag int, data []byte) {
 }
 
 // Wait blocks until the receive completes. Receiving a message longer
-// than the posted buffer is an MPI truncation error and panics.
-func (r *RecvReq) Wait(p *sim.Proc) {
-	r.c.r.WaitOn(p, func() bool { return r.done })
-	if r.overrun {
-		panic(fmt.Sprintf("pt2pt: message truncated: %d-byte buffer", len(r.buf)))
+// than the posted buffer returns ErrTruncated (the MPI truncation error);
+// an asynchronous protocol error recorded on the engine is also surfaced.
+func (r *RecvReq) Wait(p *sim.Proc) error {
+	r.c.r.WaitOn(p, func() bool { return r.done || r.c.err != nil })
+	if !r.done {
+		return r.c.err
 	}
+	if r.overrun {
+		return fmt.Errorf("%w: %d-byte buffer", ErrTruncated, len(r.buf))
+	}
+	return nil
 }
 
 // Test reports completion without blocking.
@@ -324,7 +361,7 @@ func (c *Comm) onRndvDone(from int, h uint64, size int) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("pt2pt: rendezvous FIN with no landing (from %d tag %d)", from, tag))
+	c.fail(fmt.Errorf("%w: rendezvous FIN with no landing (from %d tag %d)", ErrRndvProtocol, from, tag))
 }
 
 // rematch retries the unexpected queue against posted receives (used after

@@ -2,6 +2,7 @@ package pt2pt
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -242,8 +243,9 @@ func TestValidation(t *testing.T) {
 	}
 }
 
-func TestTruncationPanics(t *testing.T) {
+func TestTruncationFails(t *testing.T) {
 	e := newEnv(2)
+	var recvErr error
 	err := e.w.Run(func(p *sim.Proc, r *mpi.Rank) {
 		switch r.ID() {
 		case 0:
@@ -251,11 +253,14 @@ func TestTruncationPanics(t *testing.T) {
 				t.Error(err)
 			}
 		case 1:
-			_, _, _, _ = e.cs[1].Recv(p, make([]byte, 10), 0, 1)
+			_, _, _, recvErr = e.cs[1].Recv(p, make([]byte, 10), 0, 1)
 		}
 	})
-	if err == nil {
-		t.Fatal("truncated receive did not fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(recvErr, ErrTruncated) {
+		t.Fatalf("truncated receive returned %v; want ErrTruncated", recvErr)
 	}
 }
 

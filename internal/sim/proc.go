@@ -35,6 +35,7 @@ type Proc struct {
 // proc scheduling (Spawn, Sleep, cond wakeups, resource handoff) goes
 // through this one top-level function with the proc as the pre-bound
 // argument, so rescheduling a proc never allocates.
+//partib:hotpath
 func fireDispatch(_ Time, arg any) { arg.(*Proc).dispatch() }
 
 // errProcExit is the sentinel panic value used by Exit for early return.
@@ -105,6 +106,7 @@ func (p *Proc) body(fn func(p *Proc)) {
 // It runs on the engine's event loop. The send wakes the proc (which is
 // blocked receiving in park or at startup); the receive completes when
 // the proc parks again or its body returns.
+//partib:hotpath
 func (p *Proc) dispatch() {
 	if p.done {
 		return
@@ -119,7 +121,7 @@ func (p *Proc) dispatch() {
 		// just received; the shell is dead and safe to recycle. Every wake
 		// is guarded by a consumed-once flag (cond waiter done, timer seq),
 		// so no stale dispatch event can still reference this proc.
-		p.e.procFree = append(p.e.procFree, p)
+		p.e.procFree = append(p.e.procFree, p) //partlint:allow hotpathalloc amortized free-list growth
 	}
 }
 

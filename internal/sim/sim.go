@@ -277,9 +277,10 @@ func (e *Engine) Pending() int { return e.pending }
 // does one event allocation per *concurrent* event rather than one per
 // scheduled event. The seq field doubles as an identity generation —
 // Timer.Stop compares it to detect recycled events.
+//partib:hotpath
 func (e *Engine) alloc(at Time) *event {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now)) //partlint:allow hotpathalloc fatal engine-usage bug
 	}
 	var ev *event
 	if n := len(e.free); n > 0 {
@@ -287,7 +288,7 @@ func (e *Engine) alloc(at Time) *event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = new(event)
+		ev = new(event) //partlint:allow hotpathalloc free-list miss; steady state recycles
 	}
 	ev.at, ev.seq, ev.cancelled = at, e.seq, false
 	e.seq++
@@ -297,6 +298,7 @@ func (e *Engine) alloc(at Time) *event {
 }
 
 // insert places the event in the tier matching its distance from now.
+//partib:hotpath
 func (e *Engine) insert(ev *event) {
 	ev.queued = true
 	if ev.at == e.now {
@@ -336,6 +338,7 @@ func (e *Engine) insert(ev *event) {
 }
 
 // bucketPut inserts the event into its tick's sorted bucket chain.
+//partib:hotpath
 func (e *Engine) bucketPut(tk int64, ev *event) {
 	e.relink(tk, ev)
 	i := int(tk & bucketMask)
@@ -384,6 +387,7 @@ func (e *Engine) reanchor(tk int64) {
 // monotone insertion orders O(1); out-of-order arrivals walk the (small)
 // chain to their slot. It does not touch the placement stats (reanchor and
 // refill migrations reuse it).
+//partib:hotpath
 func (e *Engine) relink(tk int64, ev *event) {
 	i := int(tk & bucketMask)
 	if t := e.tails[i]; t == nil {
@@ -411,8 +415,9 @@ func (e *Engine) relink(tk int64, ev *event) {
 
 // farPush inserts the event into the 4-ary min-heap (hole-based sift-up,
 // monomorphic comparisons — no container/heap interface dispatch).
+//partib:hotpath
 func (e *Engine) farPush(ev *event) {
-	h := append(e.far, ev)
+	h := append(e.far, ev) //partlint:allow hotpathalloc amortized; far heap is pre-sized
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -427,6 +432,7 @@ func (e *Engine) farPush(ev *event) {
 }
 
 // farPop removes and returns the heap minimum (hole-based 4-ary sift-down).
+//partib:hotpath
 func (e *Engine) farPop() *event {
 	h := e.far
 	n := len(h) - 1
@@ -467,6 +473,7 @@ func (e *Engine) farPop() *event {
 // migrates every far event inside the new window into its bucket. Must only
 // be called when ring and buckets are empty (the far heap is otherwise
 // never consulted: every bucketed event precedes every far event).
+//partib:hotpath
 func (e *Engine) refill() {
 	tk := tickOf(e.far[0].at)
 	e.anchor, e.cursor = tk, tk
@@ -482,6 +489,7 @@ func (e *Engine) refill() {
 }
 
 // ringPop removes and returns the ring head.
+//partib:hotpath
 func (e *Engine) ringPop() *event {
 	ev := e.ringH
 	e.ringH = ev.next
@@ -497,6 +505,7 @@ func (e *Engine) ringPop() *event {
 // as needed. The returned slot locates the event for take: -1 means the
 // ring head, otherwise the event is the head of that bucket's sorted
 // chain. Returns nil when no live events remain.
+//partib:hotpath
 func (e *Engine) next() (ev *event, slot int) {
 	// Drop cancelled events from the ring head so the head is live.
 	for e.ringH != nil && e.ringH.cancelled {
@@ -566,6 +575,7 @@ func (e *Engine) next() (ev *event, slot int) {
 
 // take removes the event located by next (always a chain head) from its
 // tier.
+//partib:hotpath
 func (e *Engine) take(ev *event, slot int) {
 	if slot < 0 {
 		e.ringPop()
@@ -581,6 +591,7 @@ func (e *Engine) take(ev *event, slot int) {
 }
 
 // fire advances the clock to the event and runs its callback.
+//partib:hotpath
 func (e *Engine) fireEvent(ev *event) {
 	if ev.at != e.now {
 		e.now = ev.at
@@ -607,6 +618,7 @@ func (e *Engine) schedule(at Time, fn func()) *event {
 // scheduleCall enqueues the typed callback fire(now, arg) to run at time
 // at. Because fire is a shared top-level function and arg a pre-bound
 // pointer, steady-state scheduling through this path allocates nothing.
+//partib:hotpath
 func (e *Engine) scheduleCall(at Time, fire func(Time, any), arg any) *event {
 	ev := e.alloc(at)
 	ev.fire, ev.arg = fire, arg
@@ -615,10 +627,11 @@ func (e *Engine) scheduleCall(at Time, fire func(Time, any), arg any) *event {
 
 // recycle returns a popped event to the free list. Callback and argument
 // references are dropped so captured state can be collected.
+//partib:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.fn, ev.fire, ev.arg, ev.next = nil, nil, nil, nil
 	ev.queued = false
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //partlint:allow hotpathalloc amortized free-list growth
 }
 
 // At schedules fn to run at the absolute virtual time at.
@@ -688,6 +701,7 @@ func (t *Timer) When() Time { return t.at }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
+//partib:hotpath
 func (e *Engine) Step() bool {
 	ev, slot := e.next()
 	if ev == nil {

@@ -51,8 +51,15 @@ type BenchReport struct {
 	Warning string `json:"warning,omitempty"`
 }
 
+// Clock supplies wall-clock timestamps for benchmark measurement. This
+// package is reachable from simulation code, which must stay
+// deterministic (partlint's simdeterminism analyzer forbids time.Now
+// here), so the CLI binaries inject time.Now at the process boundary.
+type Clock func() time.Time
+
 // Measurement captures the counters needed around one benchmark pass.
 type Measurement struct {
+	now     Clock
 	start   time.Time
 	events  uint64
 	mallocs uint64
@@ -60,12 +67,13 @@ type Measurement struct {
 }
 
 // StartMeasure snapshots wall clock, event, allocation, and
-// scheduler-placement counters.
-func StartMeasure() Measurement {
+// scheduler-placement counters. The clock is retained for Stop.
+func StartMeasure(now Clock) Measurement {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return Measurement{
-		start:   time.Now(),
+		now:     now,
+		start:   now(),
 		events:  sim.TotalEvents(),
 		mallocs: ms.Mallocs,
 		sched:   sim.TotalSchedStats(),
@@ -75,7 +83,7 @@ func StartMeasure() Measurement {
 // Stop returns wall seconds, events executed, and allocations since
 // StartMeasure.
 func (m Measurement) Stop() (seconds float64, events, allocs uint64) {
-	seconds = time.Since(m.start).Seconds()
+	seconds = m.now().Sub(m.start).Seconds()
 	events = sim.TotalEvents() - m.events
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
