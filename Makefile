@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare
+.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare bench-pdes bench-pdes-smoke
 
 check: vet lint build test race conformance
 
@@ -34,9 +34,12 @@ test:
 
 # The sweep pool and the tuning search are the layers where multiple
 # goroutines touch shared memory; core and the mpi harness ride under
-# them in parallel sweeps, so race-check all four on every PR.
+# them in parallel sweeps, so race-check all four on every PR — plus the
+# sim package, whose ShardSet runs engines on a spin/park worker fleet,
+# and the bench differential tests that drive sharded clusters end to end.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/tuning/... ./internal/core/... ./internal/mpi/...
+	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/tuning/... ./internal/core/... ./internal/mpi/...
+	$(GO) test -race -run 'TestSharded' ./internal/bench/
 
 # Provider-conformance suite: every transport backend (verbs, ucx, shm)
 # against the same SPI contract, including under the race detector.
@@ -67,6 +70,17 @@ bench-compare:
 	@tmp=$$(mktemp); cp BENCH_hotpath.json $$tmp; \
 	$(GO) run ./cmd/partbench -hotpathjson $$tmp; \
 	rm -f $$tmp
+
+# Regenerate BENCH_pdes.json: the conservative-PDES scaling workload
+# (1024-rank Sweep3D) on the serial engine and at 2, 4, and 8 shards,
+# every sharded pass asserted byte-identical to the serial oracle.
+bench-pdes:
+	$(GO) run ./cmd/partbench -pdesjson BENCH_pdes.json
+
+# CI smoke variant: small workload, two shards, same parity assert;
+# exits nonzero if the sharded pass diverges from serial.
+bench-pdes-smoke:
+	$(GO) run ./cmd/partbench -pdesjson /dev/null -quick
 
 # Regenerate BENCH_parallel.json: serial-vs-parallel tuning sweep report.
 bench-parallel:

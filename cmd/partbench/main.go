@@ -10,6 +10,9 @@
 //	partbench -experiment all -quick -benchjson BENCH_parallel.json
 //	partbench -hotpathjson BENCH_hotpath.json   # single-engine hot-path bench
 //	partbench -hotpathjson /dev/null -cpuprofile cpu.pprof -memprofile mem.pprof
+//	partbench -experiment fig8 -shards 4        # run sharded (same output)
+//	partbench -pdesjson BENCH_pdes.json         # PDES scaling bench, 1024 ranks
+//	partbench -pdesjson /dev/null -quick        # small smoke workload, 2 shards
 //
 // Each experiment prints the rows/series of the corresponding figure or
 // table of "A Dynamic Network-Native MPI Partitioned Aggregation Over
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -52,6 +56,8 @@ func main() {
 	provider := flag.String("provider", "", "transport backend: "+strings.Join(xport.Names(), ", ")+" (default verbs)")
 	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
 	hotpathJSON := flag.String("hotpathjson", "", "run the fixed single-engine hot-path workload and write its report to this file")
+	pdesJSON := flag.String("pdesjson", "", "run the conservative-PDES scaling workload and write its report to this file")
+	shards := flag.Int("shards", 0, "conservative-PDES shard count per simulation (0 or 1 = serial; output is identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -106,6 +112,14 @@ func main() {
 		return
 	}
 
+	if *pdesJSON != "" {
+		if err := runPdes(*pdesJSON, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: pdes: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *list {
 		for _, name := range experiments.Names() {
 			desc, _ := experiments.Describe(name)
@@ -128,7 +142,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := experiments.Config{Quick: *quick, Jobs: *jobs, Provider: *provider}
+	cfg := experiments.Config{Quick: *quick, Jobs: *jobs, Provider: *provider, Shards: *shards}
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
@@ -286,6 +300,98 @@ func runHotpath(path string) error {
 		"partbench: scheduler %s: %d ring, %d bucket, %d far insertions, max bucket chain %d\n",
 		report.Scheduler, report.SchedRingEvents, report.SchedBucketEvents,
 		report.SchedFarEvents, report.SchedMaxBucketLen)
+	return nil
+}
+
+// runPdes times the conservative-PDES scaling workload: one Sweep3D
+// configuration run first on the serial engine (the oracle) and then at
+// increasing shard counts, each sharded pass required to reproduce the
+// serial per-iteration times byte for byte. The full workload is the
+// paper-scale 1024-rank grid; -quick substitutes a small smoke grid at
+// two shards (the CI parity gate). Any parity miss is a hard error — a
+// sharded simulator that changes results is wrong, not slow.
+func runPdes(path string, quick bool) error {
+	workload := "sweep3d 32x32 ranks=1024 threads=4 bytes=16KiB iters=2 ploggp"
+	shardCounts := []int{2, 4, 8}
+	base := bench.SweepConfig{
+		GridX:    32,
+		GridY:    32,
+		Threads:  4,
+		Bytes:    16 << 10,
+		Compute:  20 * time.Microsecond,
+		NoisePct: 5,
+		Warmup:   1,
+		Iters:    2,
+		Opts:     core.Options{Strategy: core.StrategyPLogGP},
+	}
+	if quick {
+		workload = "sweep3d 8x4 ranks=32 threads=4 bytes=16KiB iters=2 ploggp"
+		shardCounts = []int{2}
+		base.GridX, base.GridY = 8, 4
+	}
+
+	report := sweep.PdesReport{
+		Tool:        "partbench",
+		Workload:    workload,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		LookaheadNs: int64(cluster.NiagaraConfig(1).Fabric.Lookahead()),
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		report.Warning = "GOMAXPROCS=1: shards time-slice one core, speedup does not measure parallelism"
+	}
+
+	m := sweep.StartMeasure(time.Now)
+	serial, err := bench.RunSweep(base)
+	if err != nil {
+		return err
+	}
+	serialSec, serialEvents, serialAllocs := m.Stop()
+	report.Runs = append(report.Runs,
+		sweep.NewPdesRun(1, serialSec, serialEvents, serialAllocs, 0, true))
+
+	for _, shards := range shardCounts {
+		cfg := base
+		cfg.Shards = shards
+		m := sweep.StartMeasure(time.Now)
+		res, err := bench.RunSweep(cfg)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		sec, events, allocs := m.Stop()
+		identical := len(res.IterTimes) == len(serial.IterTimes)
+		for i := range serial.IterTimes {
+			if !identical || res.IterTimes[i] != serial.IterTimes[i] {
+				identical = false
+				break
+			}
+		}
+		run := sweep.NewPdesRun(shards, sec, events, allocs, serialSec, identical)
+		if st := res.ShardStats; st != nil {
+			run.Windows = st.Windows
+			run.WindowSyncStalls = st.Stalls
+			run.CrossShardPosts = st.CrossPosts
+			run.PerShardEvents = st.Events
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Fprintf(os.Stderr,
+			"partbench: pdes shards=%d %.2fs, %d events, %.0f events/sec (%.2fx serial), %d windows (%d stalls), %d cross-posts, identical=%v\n",
+			shards, sec, events, run.EventsPerSec, run.Speedup,
+			run.Windows, run.WindowSyncStalls, run.CrossShardPosts, identical)
+		if !identical {
+			if werr := sweep.WritePdesFile(path, report); werr != nil {
+				return werr
+			}
+			return fmt.Errorf("shards=%d produced per-iteration times differing from the serial pass", shards)
+		}
+	}
+	if err := sweep.WritePdesFile(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "partbench: pdes serial %.2fs, %.0f events/sec; report written to %s\n",
+		serialSec, report.Runs[0].EventsPerSec, path)
+	if report.Warning != "" {
+		fmt.Fprintf(os.Stderr, "partbench: warning: %s\n", report.Warning)
+	}
 	return nil
 }
 

@@ -1,0 +1,46 @@
+package a
+
+// This file models the conservative-shard hot path: the per-window
+// advance loop and the cross-shard mailbox post. The advance loop must be
+// allocation-free; the mailbox append is the one sanctioned amortized
+// growth (buffers are reused round over round) and must carry a waiver.
+
+type shardPost struct {
+	at  int64
+	arg *item
+}
+
+type shardMailbox struct {
+	buf  []shardPost
+	sent uint64
+}
+
+//partib:hotpath
+func (m *shardMailbox) post(at int64, arg *item) {
+	m.buf = append(m.buf, shardPost{at: at, arg: arg}) //partlint:allow hotpathalloc amortized; mailbox buffers are reused
+	m.sent++
+}
+
+//partib:hotpath
+func (m *shardMailbox) postLogged(at int64, arg *item, log func(string)) {
+	m.buf = append(m.buf, shardPost{at: at, arg: arg}) // want "calls append"
+	cb := func() int64 { return at }                   // want "defines a closure"
+	_ = cb
+	log("posted")
+}
+
+// advance is the window loop shape: pops existing entries and writes into
+// existing memory, allocating nothing.
+//partib:hotpath
+func (m *shardMailbox) advance(end int64, fire func(int64, *item)) {
+	i := 0
+	for ; i < len(m.buf); i++ {
+		p := &m.buf[i]
+		if p.at >= end {
+			break
+		}
+		fire(p.at, p.arg)
+		p.arg = nil
+	}
+	m.buf = m.buf[:copy(m.buf, m.buf[i:])]
+}

@@ -1,0 +1,41 @@
+package a
+
+import (
+	"sort"
+	"time"
+)
+
+// This file models the conservative-shard coordinator's barrier section:
+// mailbox drain order decides event seq assignment, so delivering while
+// ranging over a map is exactly the nondeterminism the analyzer exists to
+// catch, and wall-clock reads inside the window loop would leak host
+// timing into the virtual timeline.
+
+type mailboxMap map[int][]int
+
+// drainUnordered delivers in map order: seq assignment would differ run
+// over run.
+func drainUnordered(m mailboxMap, deliver func(int)) {
+	for src := range m {
+		deliver(src) // want "call to deliver while ranging over a map"
+	}
+}
+
+// drainSorted is the sanctioned coordinator shape: collect, sort, then
+// deliver in fixed src order.
+func drainSorted(m mailboxMap, deliver func(int)) {
+	srcs := make([]int, 0, len(m))
+	for src := range m {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		deliver(src)
+	}
+}
+
+// windowDeadline reads the host clock mid-window: virtual time must never
+// depend on wall time.
+func windowDeadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget) // want "time.Now in a sim-reachable package"
+}

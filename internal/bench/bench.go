@@ -78,6 +78,10 @@ type P2PConfig struct {
 	Opts core.Options
 	// Provider names the transport provider ("" selects "verbs").
 	Provider string
+	// Shards partitions the simulation into this many conservative-PDES
+	// shards (see cluster.Config.Shards); 0 or 1 runs serial. Results are
+	// byte-identical either way.
+	Shards int
 	// Cluster overrides the machine (nil selects two Niagara nodes).
 	Cluster *cluster.Config
 }
@@ -179,6 +183,7 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 	if cfg.Cluster != nil {
 		clCfg = *cfg.Cluster
 	}
+	clCfg.Shards = cfg.Shards
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg, RanksPerNode: ranksPerNode})
 	engines := make([]*core.Engine, 2)
 	for i := range engines {
@@ -202,9 +207,16 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 	res := P2PResult{Profile: rec, Warmup: cfg.Warmup, Bytes: cfg.Bytes}
 	jitterRng := jitterPRNG(0x5eed)
 	jitterSpan := cfg.JitterPerThread * time.Duration(cfg.Parts)
-	// roundStart and lastPready are written by the sender side and read by
-	// the receiver after completion; the engine serializes access.
-	var roundStart, lastPready sim.Time
+	// Each side records its own timestamps per measured round — the sender
+	// its round starts and last-Pready instants, the receiver its
+	// completion instants — and the latencies are assembled after the run.
+	// Nothing is shared across ranks mid-simulation, so the benchmark is
+	// race-free when the two ranks live on different shards of a sharded
+	// cluster (and the assembled values are identical to a serial run:
+	// round i's completion always follows round i's start and readiness).
+	starts := make([]sim.Time, cfg.Iters)
+	preadys := make([]sim.Time, cfg.Iters)
+	dones := make([]sim.Time, cfg.Iters)
 
 	sendBuf := make([]byte, cfg.Bytes)
 	recvBuf := make([]byte, cfg.Bytes)
@@ -224,6 +236,7 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 			g := sim.NewGroup(p.Engine())
 			jitters := make([]time.Duration, cfg.Parts)
 			threads := make([]func(tp *sim.Proc), cfg.Parts)
+			var lastPready sim.Time
 			for t := 0; t < cfg.Parts; t++ {
 				t := t
 				threads[t] = func(tp *sim.Proc) {
@@ -245,7 +258,8 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 			}
 			for iter := 0; iter < total; iter++ {
 				r.Barrier(p)
-				roundStart = p.Now()
+				roundStart := p.Now()
+				lastPready = 0
 				ps.Start(p)
 				for t := 0; t < cfg.Parts; t++ {
 					g.Add(1)
@@ -257,6 +271,10 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 				}
 				g.Wait(p)
 				ps.Wait(p)
+				if iter >= cfg.Warmup {
+					starts[iter-cfg.Warmup] = roundStart
+					preadys[iter-cfg.Warmup] = lastPready
+				}
 			}
 		case 1:
 			pr, err := engines[1].PrecvInit(p, recvBuf, cfg.Parts, 0, 0, opts)
@@ -265,19 +283,20 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 			}
 			for iter := 0; iter < total; iter++ {
 				r.Barrier(p)
-				lastPready = 0
 				pr.Start(p)
 				pr.Wait(p)
 				if iter >= cfg.Warmup {
-					now := p.Now()
-					res.IterTimes = append(res.IterTimes, now.Sub(roundStart))
-					res.LastLatency = append(res.LastLatency, now.Sub(lastPready))
+					dones[iter-cfg.Warmup] = p.Now()
 				}
 			}
 		}
 	})
 	if err != nil {
 		return P2PResult{}, err
+	}
+	for i := 0; i < cfg.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, dones[i].Sub(starts[i]))
+		res.LastLatency = append(res.LastLatency, dones[i].Sub(preadys[i]))
 	}
 	res.FabricMessages = w.Rank(0).Node().HCA.Port().MessagesSent()
 	return res, nil

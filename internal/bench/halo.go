@@ -34,6 +34,10 @@ type HaloConfig struct {
 	Opts core.Options
 	// Provider names the transport provider ("" selects "verbs").
 	Provider string
+	// Shards partitions the simulation into this many conservative-PDES
+	// shards (see cluster.Config.Shards); 0 or 1 runs serial. Results are
+	// byte-identical either way.
+	Shards int
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
 }
@@ -111,6 +115,7 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 	nodes := cfg.GridX * cfg.GridY
 	clCfg := cluster.NiagaraConfig(nodes)
 	clCfg.CoresPerNode = cfg.CoresPerNode
+	clCfg.Shards = cfg.Shards
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
 	engines := make([]*core.Engine, nodes)
 	for i := 0; i < nodes; i++ {
@@ -129,7 +134,14 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 	total := cfg.Warmup + cfg.Iters
 	res := HaloResult{Compute: cfg.Compute}
 	starts := make([]sim.Time, total)
-	ends := make([]sim.Time, total)
+	// Each rank records its own per-iteration finish; the max over ranks
+	// is reduced after the run. Ranks touch only their own row, so the
+	// recording is race-free on a sharded cluster (and max is
+	// order-independent, so the reduced values match a serial run).
+	rankEnds := make([][]sim.Time, nodes)
+	for i := range rankEnds {
+		rankEnds[i] = make([]sim.Time, total)
+	}
 	laggard := cfg.Threads - 1
 
 	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
@@ -193,16 +205,20 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 				ps.Wait(p)
 			}
 			// Iteration completes when the slowest rank finishes.
-			if p.Now() > ends[iter] {
-				ends[iter] = p.Now()
-			}
+			rankEnds[id][iter] = p.Now()
 		}
 	})
 	if err != nil {
 		return HaloResult{}, err
 	}
 	for iter := cfg.Warmup; iter < total; iter++ {
-		res.IterTimes = append(res.IterTimes, ends[iter].Sub(starts[iter]))
+		end := rankEnds[0][iter]
+		for _, re := range rankEnds[1:] {
+			if re[iter] > end {
+				end = re[iter]
+			}
+		}
+		res.IterTimes = append(res.IterTimes, end.Sub(starts[iter]))
 	}
 	return res, nil
 }

@@ -35,6 +35,10 @@ type SweepConfig struct {
 	Opts core.Options
 	// Provider names the transport provider ("" selects "verbs").
 	Provider string
+	// Shards partitions the simulation into this many conservative-PDES
+	// shards (see cluster.Config.Shards); 0 or 1 runs serial. Results are
+	// byte-identical either way.
+	Shards int
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
 }
@@ -76,6 +80,10 @@ type SweepResult struct {
 	// path per iteration (subtracted to isolate communication time, as
 	// the paper does for Figure 14).
 	CriticalCompute time.Duration
+	// ShardStats reports the conservative-PDES runtime counters (windows,
+	// window-sync stalls, per-shard events, cross-shard posts) when the
+	// run was sharded; nil for a serial run.
+	ShardStats *sim.ShardStats
 }
 
 // MeanCommTime returns mean(IterTimes) - CriticalCompute, clamped at a
@@ -111,6 +119,7 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	nodes := cfg.GridX * cfg.GridY
 	clCfg := cluster.NiagaraConfig(nodes)
 	clCfg.CoresPerNode = cfg.CoresPerNode
+	clCfg.Shards = cfg.Shards
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
 
 	engines := make([]*core.Engine, nodes)
@@ -134,7 +143,13 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		// Wavefront critical path: (GridX-1 + GridY-1 + 1) compute steps.
 		CriticalCompute: time.Duration(cfg.GridX+cfg.GridY-1) * cfg.Compute,
 	}
-	var iterStart, iterEnd sim.Time
+	// Rank 0 records round starts and the south-east corner the round
+	// ends, each into its own per-iteration slot; the wavefront times are
+	// assembled after the run. No cross-rank reads happen mid-simulation,
+	// so the pattern is race-free on a sharded cluster (and the assembled
+	// values are identical to a serial run).
+	iterStarts := make([]sim.Time, total)
+	iterEnds := make([]sim.Time, total)
 	laggard := cfg.Threads - 1
 
 	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
@@ -173,7 +188,7 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		for iter := 0; iter < total; iter++ {
 			r.Barrier(p)
 			if id == 0 {
-				iterStart = p.Now()
+				iterStarts[iter] = p.Now()
 			}
 			// Arm all requests for the round.
 			for _, pr := range []*core.Precv{sr.recvW, sr.recvN} {
@@ -227,15 +242,19 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 			}
 			// The wavefront completes when the south-east corner finishes.
 			if x == cfg.GridX-1 && y == cfg.GridY-1 {
-				iterEnd = p.Now()
-				if iter >= cfg.Warmup {
-					res.IterTimes = append(res.IterTimes, iterEnd.Sub(iterStart))
-				}
+				iterEnds[iter] = p.Now()
 			}
 		}
 	})
 	if err != nil {
 		return SweepResult{}, err
+	}
+	for iter := cfg.Warmup; iter < total; iter++ {
+		res.IterTimes = append(res.IterTimes, iterEnds[iter].Sub(iterStarts[iter]))
+	}
+	if set := w.Cluster().ShardSet(); set != nil {
+		st := set.Stats()
+		res.ShardStats = &st
 	}
 	return res, nil
 }

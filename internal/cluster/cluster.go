@@ -27,6 +27,13 @@ type Config struct {
 	Quantum time.Duration
 	// Fabric is the interconnect cost model.
 	Fabric fabric.Config
+	// Shards is the number of conservative-PDES shards (sim.ShardSet) the
+	// simulation is partitioned into; nodes are assigned to shards in
+	// contiguous groups and a shard count above Nodes is clamped. 0 or 1
+	// runs serial on a single engine. Sharded runs produce byte-identical
+	// results to serial ones: the fabric's lookahead (its minimum
+	// cross-port latency) bounds every cross-shard interaction.
+	Shards int
 }
 
 // NiagaraConfig returns the paper's system shape: 40-core nodes on an
@@ -51,12 +58,38 @@ func (c Config) Validate() error {
 	if c.Quantum < 0 {
 		return fmt.Errorf("cluster: negative quantum %v", c.Quantum)
 	}
-	return c.Fabric.Validate()
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: negative shard count %d", c.Shards)
+	}
+	if c.Shards > 1 {
+		la := c.Fabric.Lookahead()
+		if la <= 0 {
+			return fmt.Errorf("cluster: %d shards need positive fabric latencies (lookahead is their minimum, got %v)", c.Shards, la)
+		}
+		// The flow pipeline reuses one reservation slot per in-flight
+		// message (fabric.flowMsg): consecutive bursts must be injected
+		// more than WireLatency+lookahead apart so the previous
+		// reservation has fired — in an earlier synchronization window —
+		// before the slot is rewritten. Full-burst pacing provides that
+		// spacing; reject cost models too fast for it.
+		pace := time.Duration(float64(c.Fabric.BurstBytes) * c.Fabric.PerQPByteTime)
+		if need := c.Fabric.WireLatency + la; pace < need {
+			return fmt.Errorf("cluster: sharding needs burst pace %v >= wire latency + lookahead %v; raise BurstBytes or run serial", pace, need)
+		}
+	}
+	return nil
 }
 
 // Node is one compute node.
 type Node struct {
-	ID      int
+	ID int
+	// Engine is the shard the node's simulation state lives on (the
+	// cluster engine when running serial). Procs interacting with the
+	// node — ranks, their CQs and timers — must run on this engine.
+	Engine  *sim.Engine
 	CPU     *sim.Resource
 	HCA     *ibv.HCA
 	quantum time.Duration
@@ -85,11 +118,15 @@ func (n *Node) Compute(p *sim.Proc, d time.Duration) {
 	}
 }
 
-// Cluster is a set of nodes on one fabric with one simulation engine.
+// Cluster is a set of nodes on one fabric. Serial clusters run every node
+// on Engine; sharded clusters (Config.Shards > 1) spread contiguous node
+// groups across the engines of a sim.ShardSet, with Engine aliasing
+// shard 0 for code that only needs a clock.
 type Cluster struct {
 	Engine *sim.Engine
 	Fabric *fabric.Fabric
 	Nodes  []*Node
+	shards *sim.ShardSet
 	cfg    Config
 }
 
@@ -98,14 +135,33 @@ func New(cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	e := sim.NewEngine()
+	nshard := cfg.Shards
+	if nshard < 1 {
+		nshard = 1
+	}
+	if nshard > cfg.Nodes {
+		nshard = cfg.Nodes
+	}
+	var set *sim.ShardSet
+	var e *sim.Engine
+	if nshard > 1 {
+		set = sim.NewShardSet(nshard, cfg.Fabric.Lookahead())
+		e = set.Engine(0)
+	} else {
+		e = sim.NewEngine()
+	}
 	f := fabric.New(e, cfg.Fabric)
-	c := &Cluster{Engine: e, Fabric: f, cfg: cfg}
+	c := &Cluster{Engine: e, Fabric: f, shards: set, cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
+		ne := e
+		if set != nil {
+			ne = set.Engine(i * nshard / cfg.Nodes)
+		}
 		c.Nodes = append(c.Nodes, &Node{
 			ID:      i,
-			CPU:     sim.NewResource(e, cfg.CoresPerNode),
-			HCA:     ibv.NewHCA(e, f, fmt.Sprintf("node%d", i)),
+			Engine:  ne,
+			CPU:     sim.NewResource(ne, cfg.CoresPerNode),
+			HCA:     ibv.NewHCA(ne, f, fmt.Sprintf("node%d", i)),
 			quantum: cfg.Quantum,
 		})
 	}
@@ -114,3 +170,17 @@ func New(cfg Config) *Cluster {
 
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// ShardSet returns the conservative-PDES shard set, or nil for a serial
+// cluster.
+func (c *Cluster) ShardSet() *sim.ShardSet { return c.shards }
+
+// Run drives the simulation to completion: the shard set when the
+// cluster is sharded (workers ≤ 0 selects the default fleet size),
+// otherwise the single engine.
+func (c *Cluster) Run(workers int) error {
+	if c.shards != nil {
+		return c.shards.Run(workers)
+	}
+	return c.Engine.Run()
+}

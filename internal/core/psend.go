@@ -110,7 +110,7 @@ func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, o
 		dest:      dest,
 		tag:       tag,
 		reqID:     e.allocReq(),
-		flagLock:  sim.NewResource(e.r.World().Engine(), 1),
+		flagLock:  sim.NewResource(e.r.Engine(), 1),
 	}
 	e.psends[ps.reqID] = ps
 
@@ -128,7 +128,7 @@ func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, o
 				return nil, err
 			}
 			ps.eps = append(ps.eps, ep)
-			ps.epLocks = append(ps.epLocks, sim.NewResource(e.r.World().Engine(), 1))
+			ps.epLocks = append(ps.epLocks, sim.NewResource(e.r.Engine(), 1))
 		}
 	}
 	e.r.SendCtrl(dest, ctrlSinit, sinitMsg{
@@ -191,7 +191,7 @@ func (ps *Psend) Start(p *sim.Proc) error {
 				size:  ps.plan.GroupSize,
 				ready: make([]bool, ps.plan.GroupSize),
 				sent:  make([]bool, ps.plan.GroupSize),
-				cond:  sim.NewCond(ps.r.World().Engine()),
+				cond:  sim.NewCond(ps.r.Engine()),
 			})
 		}
 	} else {

@@ -38,6 +38,7 @@ func AblationInline(cfg Config) ([]*stats.Table, error) {
 					UseInline:      inline,
 				},
 				Provider: cfg.Provider,
+				Shards:   cfg.Shards,
 			})
 		}
 	}
@@ -83,6 +84,7 @@ func AblationWindow(cfg Config) ([]*stats.Table, error) {
 					MaxOutstandingPerQP: w,
 				},
 				Provider: cfg.Provider,
+				Shards:   cfg.Shards,
 			})
 		}
 	}
@@ -127,6 +129,7 @@ func AblationModel(cfg Config) ([]*stats.Table, error) {
 			Iters:    itersFor(cfg, 10),
 			Opts:     core.Options{Strategy: core.StrategyPLogGP},
 			Provider: cfg.Provider,
+			Shards:   cfg.Shards,
 		}
 	}
 	results, err := cfg.runP2PGrid(jobs, nil)
@@ -176,6 +179,7 @@ func AblationTimer(cfg Config) ([]*stats.Table, error) {
 			Iters:    itersFor(cfg, 10),
 			Opts:     opts,
 			Provider: cfg.Provider,
+			Shards:   cfg.Shards,
 		}
 	}
 	results, err := cfg.runP2PGrid(jobs, nil)

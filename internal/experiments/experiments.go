@@ -41,6 +41,11 @@ type Config struct {
 	// Provider selects the transport backend the benchmarks run over
 	// ("verbs", "ucx", "shm"); empty means the default verbs provider.
 	Provider string
+	// Shards partitions every benchmark's simulation into this many
+	// conservative-PDES shards (clamped per run to its node count; see
+	// cluster.Config.Shards). Zero or 1 runs serial. Tables are
+	// byte-identical for any value.
+	Shards int
 }
 
 func (c Config) progress(format string, args ...any) {
@@ -222,7 +227,7 @@ func overheadConfig(cfg Config, parts, size int, opts core.Options) bench.P2PCon
 	warmup, iters := cfg.iterCounts()
 	return bench.P2PConfig{
 		Parts: parts, Bytes: size, Warmup: warmup, Iters: iters,
-		Opts: opts, Provider: cfg.Provider,
+		Opts: opts, Provider: cfg.Provider, Shards: cfg.Shards,
 	}
 }
 
@@ -408,6 +413,7 @@ func perceivedConfig(cfg Config, parts, size int, opts core.Options) bench.P2PCo
 		Iters:           iters,
 		Opts:            opts,
 		Provider:        cfg.Provider,
+		Shards:          cfg.Shards,
 	}
 }
 
@@ -639,6 +645,7 @@ func Fig14(cfg Config) ([]*stats.Table, error) {
 					Iters:    iters,
 					Opts:     opts,
 					Provider: cfg.Provider,
+					Shards:   cfg.Shards,
 				})
 			}
 		}

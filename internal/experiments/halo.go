@@ -43,6 +43,7 @@ func Halo(cfg Config) ([]*stats.Table, error) {
 				Iters:    iters,
 				Opts:     opts,
 				Provider: cfg.Provider,
+				Shards:   cfg.Shards,
 			})
 		}
 	}

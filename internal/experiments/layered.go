@@ -44,6 +44,7 @@ func AblationLayered(cfg Config) ([]*stats.Table, error) {
 				Parts: parts, Bytes: sizes[i], Warmup: warmup, Iters: iters,
 				Opts:     core.Options{Strategy: core.StrategyBaseline},
 				Provider: cfg.Provider,
+				Shards:   cfg.Shards,
 			})
 			if err != nil {
 				return pair{}, err

@@ -115,6 +115,23 @@ func (c Config) Validate() error {
 // LinkBandwidth returns the shared-link bandwidth in bytes per second.
 func (c Config) LinkBandwidth() float64 { return 1e9 / c.LinkByteTime }
 
+// Lookahead returns the smallest cross-port interaction latency of the
+// cost model: the minimum of the wire, ack, and control latencies. Every
+// port-to-port effect in this package (burst arrival, completion,
+// control delivery) is separated from its cause by at least this much
+// virtual time, so it is a sound conservative-PDES lookahead bound for
+// sharding the simulation along port boundaries (sim.ShardSet).
+func (c Config) Lookahead() time.Duration {
+	l := c.WireLatency
+	if c.AckLatency < l {
+		l = c.AckLatency
+	}
+	if c.CtrlLatency < l {
+		l = c.CtrlLatency
+	}
+	return l
+}
+
 // TrueParams expresses the fabric's own costs as a LogGP parameter set
 // (the "fabric truth" against which Netgauge-style measurement through MPI
 // is compared).
@@ -128,14 +145,15 @@ func (c Config) TrueParams() loggp.Params {
 	}
 }
 
-// Fabric is a simulated interconnect instance.
+// Fabric is a simulated interconnect instance. Its ports may live on
+// different engines of one sim.ShardSet (see NewPortOn): all port-to-port
+// interactions cross engines only through sim.Engine.Post with timestamps
+// at least Config.Lookahead in the future, which is exactly the
+// conservative-lookahead contract the shard runtime requires.
 type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
 	ports []*Port
-	// ctrlFree recycles control-plane delivery records so SendControl does
-	// not allocate per message once warm.
-	ctrlFree []*ctrlDelivery
 }
 
 // New creates a fabric on the engine. It panics on invalid configuration
@@ -153,9 +171,13 @@ func (f *Fabric) Engine() *sim.Engine { return f.eng }
 // Config returns the cost model.
 func (f *Fabric) Config() Config { return f.cfg }
 
-// Port is one network endpoint (one HCA's link).
+// Port is one network endpoint (one HCA's link). Each port is owned by
+// one engine (its shard): egress state is touched only by flows sending
+// from the port (which run on its engine), ingress and control state only
+// by reservation events delivered to its engine.
 type Port struct {
 	fab  *Fabric
+	eng  *sim.Engine
 	id   int
 	name string
 
@@ -163,24 +185,43 @@ type Port struct {
 	ingressFreeAt sim.Time
 
 	ctrlHandler func(from *Port, payload any)
-	// ctrlLastAt enforces FIFO control delivery per destination port.
+	// ctrlLastAt enforces FIFO control delivery per destination port. It
+	// is advanced by arrival-side reservation events, so it is owned by
+	// the destination engine.
 	ctrlLastAt sim.Time
+	// ctrlFree recycles this port's outbound control-delivery records.
+	// Records are allocated by the sending port and recycled to the
+	// receiving port (each side touching only its own list), so
+	// steady-state control traffic stops allocating once both directions
+	// are warm.
+	ctrlFree []*ctrlDelivery
 
-	// Statistics.
+	// Statistics. Sent counters are written on the sending engine,
+	// received counters on this port's engine.
 	bytesSent     int64
 	bytesReceived int64
 	msgsSent      int64
 }
 
-// NewPort adds an endpoint to the fabric.
+// NewPort adds an endpoint to the fabric, owned by the fabric's engine.
 func (f *Fabric) NewPort(name string) *Port {
-	p := &Port{fab: f, id: len(f.ports), name: name}
+	return f.NewPortOn(f.eng, name)
+}
+
+// NewPortOn adds an endpoint owned by engine e — the shard on which all
+// of the port's arrival-side events run. e must be the fabric's engine or
+// a shard of the same ShardSet.
+func (f *Fabric) NewPortOn(e *sim.Engine, name string) *Port {
+	p := &Port{fab: f, eng: e, id: len(f.ports), name: name}
 	f.ports = append(f.ports, p)
 	return p
 }
 
 // Name returns the port's name.
 func (p *Port) Name() string { return p.name }
+
+// Engine returns the engine (shard) that owns the port.
+func (p *Port) Engine() *sim.Engine { return p.eng }
 
 // Fabric returns the fabric this port is attached to.
 func (p *Port) Fabric() *Fabric { return p.fab }
@@ -200,23 +241,42 @@ func (p *Port) SetControlHandler(h func(from *Port, payload any)) {
 	p.ctrlHandler = h
 }
 
-// ctrlDelivery is one in-flight control-plane message, pre-bound to the
-// delivery event so SendControl schedules without a closure.
+// ctrlDelivery is one in-flight control-plane message, pre-bound to its
+// arrival event so SendControl schedules without a closure.
 type ctrlDelivery struct {
 	src, dst *Port
 	payload  any
 }
 
+// fireCtrlArrive runs on the destination engine when a control message
+// arrives (one control latency after the send). It applies the
+// destination's FIFO serialization: an uncontended arrival is delivered
+// inline; an arrival at or before the previous delivery instant is pushed
+// one nanosecond behind it. Because arrivals are the sends shifted by the
+// constant CtrlLatency, they fire in send order, so the serialization
+// sequence — and every delivery timestamp — is identical to charging the
+// cursor at send time the way a single serial engine would.
+func fireCtrlArrive(at sim.Time, arg any) {
+	cd := arg.(*ctrlDelivery)
+	dst := cd.dst
+	if at <= dst.ctrlLastAt {
+		dst.ctrlLastAt++
+		dst.eng.AtCall(dst.ctrlLastAt, fireCtrlDeliver, cd)
+		return
+	}
+	dst.ctrlLastAt = at
+	fireCtrlDeliver(at, arg)
+}
+
 // fireCtrlDeliver hands an arrived control message to the destination
-// handler and recycles the delivery record.
+// handler and recycles the delivery record to the destination port.
 func fireCtrlDeliver(_ sim.Time, arg any) {
 	cd := arg.(*ctrlDelivery)
 	src, dst, payload := cd.src, cd.dst, cd.payload
 	// Recycle before invoking the handler: handlers may send further
 	// control messages and can then reuse this record.
 	cd.src, cd.dst, cd.payload = nil, nil, nil
-	fab := dst.fab
-	fab.ctrlFree = append(fab.ctrlFree, cd)
+	dst.ctrlFree = append(dst.ctrlFree, cd)
 	if dst.ctrlHandler == nil {
 		panic(fmt.Sprintf("fabric: control message to %q with no handler", dst.name))
 	}
@@ -226,23 +286,18 @@ func fireCtrlDeliver(_ sim.Time, arg any) {
 // SendControl delivers payload to dst's control handler after the
 // control-plane latency. Delivery order to a given destination is FIFO
 // across all senders (a deterministic total order, like a serialized
-// management network).
+// management network). Must be called on the sending port's engine.
 func (p *Port) SendControl(dst *Port, payload any) {
-	e := p.fab.eng
-	at := e.Now().Add(p.fab.cfg.CtrlLatency)
-	if at <= dst.ctrlLastAt {
-		at = dst.ctrlLastAt + 1
-	}
-	dst.ctrlLastAt = at
+	e := p.eng
 	var cd *ctrlDelivery
-	if n := len(p.fab.ctrlFree); n > 0 {
-		cd = p.fab.ctrlFree[n-1]
-		p.fab.ctrlFree = p.fab.ctrlFree[:n-1]
+	if n := len(p.ctrlFree); n > 0 {
+		cd = p.ctrlFree[n-1]
+		p.ctrlFree = p.ctrlFree[:n-1]
 	} else {
 		cd = new(ctrlDelivery)
 	}
 	cd.src, cd.dst, cd.payload = p, dst, payload
-	e.AtCall(at, fireCtrlDeliver, cd)
+	e.Post(dst.eng, e.Now().Add(p.fab.cfg.CtrlLatency), fireCtrlArrive, cd)
 }
 
 // Message is one fabric-level transfer (the realization of one work
@@ -263,8 +318,14 @@ type Message struct {
 // ports (one QP's send direction). Messages injected on one flow are
 // processed strictly in order; distinct flows contend for the shared link
 // at burst granularity.
+//
+// A flow's injection pipeline (Send, step, finish, ack, release) runs on
+// the source port's engine; arrival-side effects (ingress serialization,
+// delivery) run on the destination port's engine, reached through
+// per-burst reservation events posted one wire latency ahead (see step).
 type Flow struct {
 	fab *Fabric
+	eng *sim.Engine // == src.eng: the injection-side shard
 	src *Port
 	dst *Port
 
@@ -286,14 +347,28 @@ type Flow struct {
 }
 
 // flowMsg is the in-flight state of one message. It doubles as the
-// pre-bound argument of the flow's step/deliver/ack events, so the whole
-// lifetime of a message schedules no closures.
+// pre-bound argument of the flow's step/reservation/deliver/ack events,
+// so the whole lifetime of a message schedules no closures.
+//
+// The resv* fields are a single-slot channel from the injection side to
+// the arrival side, rewritten per burst. The reuse is race-free under
+// sharding because consecutive writes are at least one full-burst pace
+// apart, which Cluster validates to exceed WireLatency + lookahead: the
+// reservation carrying the previous value has then already fired in an
+// earlier synchronization window (and the window barrier orders the
+// memory accesses). Likewise the struct is recycled only on the source
+// engine, at least one lookahead after its final reservation fired.
 type flowMsg struct {
 	fl          *Flow
 	msg         Message
 	remaining   int
 	lastArrival sim.Time
 	ackAt       sim.Time
+	// resvArrive is the arrival lower bound (egress end + wire latency)
+	// of the burst whose reservation is in flight; resvFinal marks the
+	// message's last burst.
+	resvArrive sim.Time
+	resvFinal  bool
 }
 
 // Typed-event trampolines for the flow pipeline (see sim.AtCall).
@@ -303,6 +378,8 @@ func fireFlowStep(_ sim.Time, arg any)    { arg.(*Flow).step() }
 func fireFlowDeliver(_ sim.Time, arg any) { arg.(*flowMsg).deliver() }
 //partib:hotpath
 func fireFlowAck(_ sim.Time, arg any)     { arg.(*flowMsg).ack() }
+//partib:hotpath
+func fireFlowRelease(_ sim.Time, arg any) { fm := arg.(*flowMsg); fm.fl.release(fm) }
 
 // NewFlow creates a flow from src to dst. Loopback (src == dst) is allowed.
 func (f *Fabric) NewFlow(src, dst *Port) *Flow {
@@ -312,7 +389,7 @@ func (f *Fabric) NewFlow(src, dst *Port) *Flow {
 	if src.fab != f || dst.fab != f {
 		panic("fabric: NewFlow ports belong to a different fabric")
 	}
-	return &Flow{fab: f, src: src, dst: dst}
+	return &Flow{fab: f, eng: src.eng, src: src, dst: dst}
 }
 
 // Src returns the sending port.
@@ -360,7 +437,7 @@ func (fl *Flow) release(fm *flowMsg) {
 // startHead begins WR processing for the message at the head of the queue.
 //partib:hotpath
 func (fl *Flow) startHead() {
-	e := fl.fab.eng
+	e := fl.eng
 	start := e.Now()
 	if fl.msgFreeAt > start {
 		start = fl.msgFreeAt
@@ -377,10 +454,16 @@ func (fl *Flow) startHead() {
 }
 
 // step injects one burst of the head message, then schedules the next
-// action. It runs as an engine event.
+// action. It runs as an event on the source engine. The destination's
+// ingress cursor is not touched here: a reservation event posted one wire
+// latency ahead charges it on the destination engine. Reservations are
+// the injections shifted by the constant WireLatency, so they fire in
+// injection order and apply the same cursor updates, in the same
+// sequence, with the same values as charging at injection time on a
+// single serial engine — arrival timestamps are bit-for-bit identical.
 //partib:hotpath
 func (fl *Flow) step() {
-	e := fl.fab.eng
+	e := fl.eng
 	cfg := fl.fab.cfg
 	fm := fl.queue[fl.head]
 
@@ -408,45 +491,61 @@ func (fl *Flow) step() {
 		fl.paceFreeAt = egressEnd
 	}
 
-	// Ingress serialization at the destination.
-	arrive := egressEnd.Add(cfg.WireLatency)
-	if fl.dst.ingressFreeAt > arrive {
-		arrive = fl.dst.ingressFreeAt
-	}
-	fl.dst.ingressFreeAt = arrive
-	if arrive > fm.lastArrival {
-		fm.lastArrival = arrive
-	}
-
 	fm.remaining -= burst
+	fm.resvArrive = egressEnd.Add(cfg.WireLatency)
+	fm.resvFinal = fm.remaining == 0
+	e.Post(fl.dst.eng, e.Now().Add(cfg.WireLatency), fireIngressResv, fm)
+
 	if fm.remaining > 0 {
 		e.AtCall(fl.paceFreeAt, fireFlowStep, fl)
 		return
 	}
 
-	// Message fully injected: finalize delivery and completion.
-	fl.finish(fm, egressEnd)
+	// Message fully injected: close out the sender side and move on.
+	fl.finish(egressEnd)
 }
 
-// finish schedules delivery/ack events and advances to the next message.
-// The flowMsg itself is the events' pre-bound argument; it returns to the
-// free list once the last of them has fired (the ack when one is
-// requested, otherwise the delivery — the delivery event is scheduled
-// first, so with a zero AckLatency the FIFO seq tiebreak still runs it
-// before the ack).
+// fireIngressResv runs on the destination engine when a burst reaches the
+// destination: it serializes the burst on the ingress cursor, and for a
+// message's final burst schedules the delivery locally and routes the
+// completion (or, without one, the flowMsg recycle) back to the source —
+// both at timestamps at least one lookahead ahead, keeping every
+// cross-shard hop conservative.
 //partib:hotpath
-func (fl *Flow) finish(fm *flowMsg, egressEnd sim.Time) {
-	e := fl.fab.eng
-	cfg := fl.fab.cfg
-	fl.msgFreeAt = egressEnd.Add(cfg.MsgGap)
-
-	arrival := fm.lastArrival
-	e.AtCall(arrival, fireFlowDeliver, fm)
-	if fm.msg.OnAck != nil {
-		fm.ackAt = arrival.Add(cfg.AckLatency)
-		e.AtCall(fm.ackAt, fireFlowAck, fm)
+func fireIngressResv(_ sim.Time, arg any) {
+	fm := arg.(*flowMsg)
+	fl := fm.fl
+	arrive := fm.resvArrive
+	if fl.dst.ingressFreeAt > arrive {
+		arrive = fl.dst.ingressFreeAt
 	}
+	fl.dst.ingressFreeAt = arrive
+	if !fm.resvFinal {
+		return
+	}
+	fm.lastArrival = arrive
+	e := fl.dst.eng
+	cfg := fl.fab.cfg
+	e.AtCall(arrive, fireFlowDeliver, fm)
+	if fm.msg.OnAck != nil {
+		fm.ackAt = arrive.Add(cfg.AckLatency)
+		e.Post(fl.eng, fm.ackAt, fireFlowAck, fm)
+	} else {
+		// No completion requested: the struct still belongs to the source
+		// engine's free list, so send it home one lookahead after the
+		// delivery (the recycle instant has no observable effect).
+		e.Post(fl.eng, arrive.Add(cfg.Lookahead()), fireFlowRelease, fm)
+	}
+}
 
+// finish closes out the sender side of a fully injected message and
+// advances to the next queued one. Delivery and completion are scheduled
+// by the final burst's reservation on the arrival side; the flowMsg
+// returns to the free list once the last source-side event referencing it
+// (ack or release) has fired.
+//partib:hotpath
+func (fl *Flow) finish(egressEnd sim.Time) {
+	fl.msgFreeAt = egressEnd.Add(fl.fab.cfg.MsgGap)
 	fl.queue[fl.head] = nil
 	fl.head++
 	if fl.head == len(fl.queue) {
@@ -458,19 +557,18 @@ func (fl *Flow) finish(fm *flowMsg, egressEnd sim.Time) {
 	fl.startHead()
 }
 
-// deliver runs at the instant the last byte is placed at the destination.
+// deliver runs on the destination engine at the instant the last byte is
+// placed at the destination.
 //partib:hotpath
 func (fm *flowMsg) deliver() {
 	fm.fl.dst.bytesReceived += int64(fm.msg.Bytes)
 	if fn := fm.msg.OnDeliver; fn != nil {
 		fn(fm.lastArrival)
 	}
-	if fm.msg.OnAck == nil {
-		fm.fl.release(fm)
-	}
 }
 
-// ack runs when the sender's hardware completion would be generated.
+// ack runs on the source engine when the sender's hardware completion
+// would be generated.
 //partib:hotpath
 func (fm *flowMsg) ack() {
 	fn, at := fm.msg.OnAck, fm.ackAt

@@ -73,7 +73,7 @@ type HCA struct {
 func NewHCA(e *sim.Engine, f *fabric.Fabric, name string) *HCA {
 	return &HCA{
 		eng:      e,
-		port:     f.NewPort(name),
+		port:     f.NewPortOn(e, name),
 		name:     name,
 		nextAddr: mrBase,
 		nextKey:  1,

@@ -382,7 +382,12 @@ func (qp *QP) dispatch(ctx *sendCtx) {
 	if ctx.wr.Opcode == OpRDMARead {
 		// Request travels forward (header-sized), the data streams back
 		// on the response flow; the requester's completion is the
-		// response arrival.
+		// response arrival. The completion is scheduled from the response
+		// delivery — which runs on the requester's engine — rather than
+		// through the response flow's OnAck: that callback would run on
+		// the responder's engine (the response flow's source), and the
+		// completion mutates the requester's CQ. The instant is the same
+		// either way: response arrival plus the ack latency.
 		qp.flow.Send(fabric.Message{
 			Bytes: 16,
 			OnDeliver: func(at sim.Time) {
@@ -390,17 +395,17 @@ func (qp *QP) dispatch(ctx *sendCtx) {
 				if !ok {
 					// Error completion after a response-latency bubble.
 					qp.readFlow.Send(fabric.Message{
-						Bytes: 0,
-						OnAck: func(sim.Time) { qp.acked(ctx) },
+						Bytes:     0,
+						OnDeliver: func(at sim.Time) { qp.completeRead(ctx, at) },
 					})
 					return
 				}
 				qp.readFlow.Send(fabric.Message{
 					Bytes: len(data),
-					OnDeliver: func(sim.Time) {
+					OnDeliver: func(at sim.Time) {
 						qp.scatterRead(ctx, data)
+						qp.completeRead(ctx, at)
 					},
-					OnAck: func(sim.Time) { qp.acked(ctx) },
 				})
 			},
 		})
@@ -414,6 +419,22 @@ func (qp *QP) dispatch(ctx *sendCtx) {
 		OnDeliver: ctx.deliverFn,
 		OnAck:     ctx.ackFn,
 	})
+}
+
+// fireReadComplete is the typed-event trampoline for RDMA read
+// completions (see completeRead).
+func fireReadComplete(_ sim.Time, arg any) {
+	ctx := arg.(*sendCtx)
+	ctx.qp.acked(ctx)
+}
+
+// completeRead schedules the requester-side completion of an RDMA read,
+// one ack latency after the response arrival, on the requester's engine
+// (it runs inside the response delivery, which the fabric executes there).
+func (qp *QP) completeRead(ctx *sendCtx, arrivedAt sim.Time) {
+	e := qp.pd.ctx.hca.eng
+	ack := qp.pd.ctx.hca.port.Fabric().Config().AckLatency
+	e.AtCall(arrivedAt.Add(ack), fireReadComplete, ctx)
 }
 
 // readRemote resolves and snapshots the remote range of an RDMA read.

@@ -78,28 +78,6 @@ type World struct {
 	cluster *cluster.Cluster
 	ranks   []*Rank
 	costs   SoftwareCosts
-	// envFree recycles control-plane envelopes across the whole job.
-	// Every rank runs on the one engine (serialized), and an envelope is
-	// dead as soon as the receiving handler has unpacked it, so a shared
-	// free list makes SendCtrl allocation-free in steady state.
-	envFree []*ctrlEnvelope
-}
-
-// takeEnv pops a recycled control envelope or allocates a fresh one.
-func (w *World) takeEnv() *ctrlEnvelope {
-	if n := len(w.envFree); n > 0 {
-		env := w.envFree[n-1]
-		w.envFree[n-1] = nil
-		w.envFree = w.envFree[:n-1]
-		return env
-	}
-	return &ctrlEnvelope{}
-}
-
-// putEnv returns an unpacked envelope to the free list.
-func (w *World) putEnv(env *ctrlEnvelope) {
-	env.kind, env.from, env.to, env.data = "", 0, nil, nil
-	w.envFree = append(w.envFree, env)
 }
 
 // onCtrl is the per-node port handler: it routes an arriving control
@@ -150,7 +128,13 @@ func (w *World) Costs() SoftwareCosts { return w.costs }
 // Launch spawns one proc per rank running body and returns a Group that
 // becomes zero when every rank's body has returned. Run the engine to
 // completion (or wait on the group from another proc) to execute the job.
+// Launch requires a serial world: a sharded job has no single engine a
+// Group could live on — use Run, which tracks completion through the
+// shard set's global drain instead.
 func (w *World) Launch(body func(p *sim.Proc, r *Rank)) *sim.Group {
+	if w.cluster.ShardSet() != nil {
+		panic("mpi: Launch on a sharded world (Groups cannot span shards); use Run")
+	}
 	g := sim.NewGroup(w.Engine())
 	g.Add(len(w.ranks))
 	for _, r := range w.ranks {
@@ -164,8 +148,19 @@ func (w *World) Launch(body func(p *sim.Proc, r *Rank)) *sim.Group {
 }
 
 // Run launches body on every rank and drives the simulation to completion,
-// returning the first error (proc panic or deadlock).
+// returning the first error (proc panic or deadlock). On a sharded world
+// each rank's proc is spawned on its node's shard engine and the shard
+// set runs the job with its default worker fleet.
 func (w *World) Run(body func(p *sim.Proc, r *Rank)) error {
-	w.Launch(body)
-	return w.Engine().Run()
+	if w.cluster.ShardSet() == nil {
+		w.Launch(body)
+		return w.Engine().Run()
+	}
+	for _, r := range w.ranks {
+		r := r
+		r.node.Engine.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			body(p, r)
+		})
+	}
+	return w.cluster.Run(0)
 }

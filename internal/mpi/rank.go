@@ -57,6 +57,13 @@ type Rank struct {
 
 	barrier *barrierState
 
+	// envFree recycles control-plane envelopes. Envelopes are taken by
+	// this rank as a sender and recycled to the receiving rank once its
+	// handler has unpacked them — each side touches only its own list, so
+	// the recycling is shard-safe and steady-state SendCtrl stops
+	// allocating once both directions are warm.
+	envFree []*ctrlEnvelope
+
 	// Stats.
 	wcProcessed int64
 	ctrlHandled int64
@@ -66,15 +73,17 @@ type Rank struct {
 var _ xport.Host = (*Rank)(nil)
 
 func newRank(w *World, id int, node *cluster.Node) *Rank {
+	// Everything the rank parks on lives on its node's engine (its shard):
+	// ranks on other shards interact with it only through the fabric.
 	r := &Rank{
 		w:            w,
 		id:           id,
 		node:         node,
 		providers:    make(map[string]xport.Provider),
-		activity:     sim.NewCond(w.Engine()),
+		activity:     sim.NewCond(node.Engine),
 		ctrlHandlers: make(map[string]func(int, any)),
-		postLock:     sim.NewResource(w.Engine(), 1),
-		barrier:      &barrierState{release: sim.NewCond(w.Engine())},
+		postLock:     sim.NewResource(node.Engine, 1),
+		barrier:      &barrierState{release: sim.NewCond(node.Engine)},
 	}
 	r.initBarrierHandlers()
 	return r
@@ -89,8 +98,8 @@ func (r *Rank) World() *World { return r.w }
 // Node returns the compute node hosting the rank.
 func (r *Rank) Node() *cluster.Node { return r.node }
 
-// Engine returns the simulation engine driving the job.
-func (r *Rank) Engine() *sim.Engine { return r.w.Engine() }
+// Engine returns the engine (shard) the rank's simulation state lives on.
+func (r *Rank) Engine() *sim.Engine { return r.node.Engine }
 
 // Hardware exposes the compute node for providers to downcast; the verbs
 // provider expects a *cluster.Node carrying the HCA.
@@ -137,11 +146,28 @@ func (r *Rank) HandleCtrl(kind string, fn func(from int, data any)) {
 	r.ctrlHandlers[kind] = fn
 }
 
+// takeEnv pops a recycled control envelope or allocates a fresh one.
+func (r *Rank) takeEnv() *ctrlEnvelope {
+	if n := len(r.envFree); n > 0 {
+		env := r.envFree[n-1]
+		r.envFree[n-1] = nil
+		r.envFree = r.envFree[:n-1]
+		return env
+	}
+	return &ctrlEnvelope{}
+}
+
+// putEnv returns an unpacked envelope to this rank's free list.
+func (r *Rank) putEnv(env *ctrlEnvelope) {
+	env.kind, env.from, env.to, env.data = "", 0, nil, nil
+	r.envFree = append(r.envFree, env)
+}
+
 // SendCtrl delivers (kind, data) to the destination rank's registered
 // handler over the fabric control plane.
 func (r *Rank) SendCtrl(dst int, kind string, data any) {
 	dstRank := r.w.ranks[dst]
-	env := r.w.takeEnv()
+	env := r.takeEnv()
 	env.kind, env.from, env.to, env.data = kind, r.id, dstRank, data
 	r.node.HCA.Port().SendControl(dstRank.node.HCA.Port(), env)
 }
@@ -154,7 +180,7 @@ func (r *Rank) onCtrl(env *ctrlEnvelope) {
 		panic(fmt.Sprintf("mpi: rank %d: no handler for control kind %q", r.id, env.kind))
 	}
 	from, data := env.from, env.data
-	r.w.putEnv(env)
+	r.putEnv(env)
 	r.ctrlHandled++
 	h(from, data)
 	r.activity.Broadcast()

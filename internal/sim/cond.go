@@ -38,6 +38,12 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 // pops it, Broadcast empties the list, a timeout removes it), so reuse
 // across waits is safe and parking is allocation-free.
 func (c *Cond) Wait(p *Proc) {
+	if p.e != c.e {
+		// A proc parking on another shard's cond would be woken from a
+		// foreign engine's event loop — a cross-shard race. Catch the
+		// miswiring at the wait, where the culprit is on the stack.
+		panic("sim: proc waiting on a cond bound to a different engine")
+	}
 	w := &p.waiter
 	w.done, w.timedOut = false, false
 	c.waiters = append(c.waiters, w)
@@ -47,6 +53,9 @@ func (c *Cond) Wait(p *Proc) {
 // WaitTimeout parks the proc until it is signaled or d elapses. It reports
 // true if the proc was signaled and false on timeout.
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	if p.e != c.e {
+		panic("sim: proc waiting on a cond bound to a different engine")
+	}
 	w := &p.waiter
 	w.done, w.timedOut = false, false
 	c.waiters = append(c.waiters, w)

@@ -42,6 +42,10 @@ func (r *Resource) Peak() int { return r.peak }
 
 // Acquire obtains a server, parking the proc FIFO if none is free.
 func (r *Resource) Acquire(p *Proc) {
+	if p.e != r.e {
+		// See Cond.Wait: a cross-engine park would be a cross-shard race.
+		panic("sim: proc acquiring a resource bound to a different engine")
+	}
 	if r.inUse < r.servers {
 		r.inUse++
 		if r.inUse > r.peak {

@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the conservative parallel discrete-event runtime: a ShardSet
+// groups several engines (shards) and advances them in lockstep windows of
+// one lookahead λ, exchanging cross-shard events through per-pair SPSC
+// mailboxes drained at window boundaries.
+//
+// The protocol (DESIGN.md §11) in one paragraph: every round the
+// coordinator drains all mailboxes in a fixed order, computes the global
+// minimum next-event time Tmin across shards, and opens the window
+// [Tmin, Tmin+λ). Workers then run each shard's events with at < Tmin+λ
+// concurrently, one shard at a time per worker. Any cross-shard post made
+// from an event at time t carries a timestamp ≥ t+λ ≥ Tmin+λ — at or
+// beyond the window end — so draining mailboxes only at the barrier can
+// never deliver an event into its own past. λ must therefore lower-bound
+// every cross-shard interaction latency; the fabric's wire, ack, and
+// control latencies do exactly that.
+//
+// Determinism does not depend on the worker count or on scheduling: each
+// shard's events fire single-threaded in (at, seq) order, seq assignment
+// within a shard comes only from its own events plus the coordinator's
+// drain (which walks mailboxes in fixed src order), and the window
+// sequence is a pure function of event timestamps.
+
+// post is one cross-shard event in flight: the target-time/callback pair
+// the destination engine will schedule at the next window boundary.
+type post struct {
+	at   Time
+	fire func(Time, any)
+	arg  any
+}
+
+// mailbox is a single-producer single-consumer event buffer for one
+// (src shard, dst shard) pair. The owning src worker appends during a
+// window; the coordinator drains it at the barrier. The buffer is reused
+// round over round, so steady-state posting does not allocate.
+type mailbox struct {
+	buf []post
+	// sent counts posts over the whole run, for ShardStats.
+	sent uint64
+}
+
+// worker is one spin/park fleet member. Workers never exit between
+// windows: they spin briefly on the round counter and fall back to a
+// buffered wake channel, so a window costs no goroutine churn.
+type worker struct {
+	wake   chan struct{}
+	parked atomic.Bool
+}
+
+// spinRounds bounds busy-waiting on the round counter before a worker
+// parks on its channel. Windows are microseconds of virtual time and
+// usually sub-millisecond of wall time, so a short spin wins most races.
+const spinRounds = 256
+
+// ShardSet runs a group of engines as one conservative parallel
+// simulation. Construct with NewShardSet, create simulation state on the
+// member engines, then call Run.
+type ShardSet struct {
+	engines []*Engine
+	lambda  time.Duration
+
+	// mail[src][dst] holds posts from shard src to shard dst.
+	mail [][]mailbox
+
+	// windowEnd is the current window's exclusive upper bound, readable by
+	// workers (Post asserts against it). Written only between barriers.
+	windowEnd Time
+
+	// round increments at every window release; workers wait for it.
+	round atomic.Uint64
+	// claim hands out shard indexes to workers within a round.
+	claim atomic.Int64
+	// finished counts shards completed this round; the last worker wakes
+	// the coordinator.
+	finished    atomic.Int64
+	coordinator worker
+	workers     []*worker
+	quit        atomic.Bool
+
+	// Stats.
+	windows uint64
+	stalls  uint64
+}
+
+// NewShardSet creates n engines advancing under lookahead λ. It panics on
+// n < 1 or, for n > 1, a non-positive λ (zero lookahead admits no
+// conservative window; run serial instead).
+func NewShardSet(n int, lambda time.Duration) *ShardSet {
+	if n < 1 {
+		panic("sim: ShardSet needs at least one shard")
+	}
+	if n > 1 && lambda <= 0 {
+		panic("sim: ShardSet with more than one shard needs positive lookahead")
+	}
+	s := &ShardSet{lambda: lambda}
+	s.engines = make([]*Engine, n)
+	s.mail = make([][]mailbox, n)
+	for i := range s.engines {
+		e := NewEngine()
+		e.shard, e.shardID = s, i
+		s.engines[i] = e
+		s.mail[i] = make([]mailbox, n)
+	}
+	s.coordinator.wake = make(chan struct{}, 1)
+	return s
+}
+
+// Engines returns the member engines in shard order.
+func (s *ShardSet) Engines() []*Engine { return s.engines }
+
+// Engine returns shard i's engine.
+func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+
+// Shards returns the shard count.
+func (s *ShardSet) Shards() int { return len(s.engines) }
+
+// Lookahead returns the lookahead λ.
+func (s *ShardSet) Lookahead() time.Duration { return s.lambda }
+
+// ShardStats describes one completed run of the set.
+type ShardStats struct {
+	// Windows is the number of synchronization windows executed.
+	Windows uint64
+	// Stalls counts windows in which at least one shard fired no event —
+	// rounds where the barrier was pure synchronization overhead for that
+	// shard (window-sync stalls).
+	Stalls uint64
+	// Events is the per-shard executed-event count.
+	Events []uint64
+	// CrossPosts is the total number of cross-shard mailbox posts.
+	CrossPosts uint64
+}
+
+// Stats reports counters for the last Run.
+func (s *ShardSet) Stats() ShardStats {
+	st := ShardStats{Windows: s.windows, Stalls: s.stalls}
+	st.Events = make([]uint64, len(s.engines))
+	for i, e := range s.engines {
+		st.Events[i] = e.stepped
+	}
+	for i := range s.mail {
+		for j := range s.mail[i] {
+			st.CrossPosts += s.mail[i][j].sent
+		}
+	}
+	return st
+}
+
+// post enqueues a cross-shard event; called from Engine.Post on the worker
+// owning shard src. at must not precede the current window's end — that
+// would mean the lookahead bound is violated and conservative execution is
+// unsound, so it panics loudly rather than corrupting the timeline.
+//partib:hotpath
+func (s *ShardSet) post(src, dst int, at Time, fire func(Time, any), arg any) {
+	if at < s.windowEnd {
+		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead (window ends %v)", at, s.windowEnd)) //partlint:allow hotpathalloc fatal lookahead violation
+	}
+	mb := &s.mail[src][dst]
+	mb.buf = append(mb.buf, post{at: at, fire: fire, arg: arg}) //partlint:allow hotpathalloc amortized; mailbox buffers are reused
+	mb.sent++
+}
+
+// drain moves every mailbox entry into its destination engine. It runs
+// only on the coordinator between barriers, and always in the same order —
+// dst-major, src-minor, FIFO within a mailbox — so event seq assignment is
+// identical run over run regardless of worker interleaving. It reports
+// whether any post was delivered.
+//partib:hotpath
+func (s *ShardSet) drain() bool {
+	delivered := false
+	for dst := range s.engines {
+		e := s.engines[dst]
+		for src := range s.engines {
+			mb := &s.mail[src][dst]
+			if len(mb.buf) == 0 {
+				continue
+			}
+			delivered = true
+			for i := range mb.buf {
+				p := &mb.buf[i]
+				e.scheduleCall(p.at, p.fire, p.arg)
+				p.fire, p.arg = nil, nil
+			}
+			mb.buf = mb.buf[:0]
+		}
+	}
+	return delivered
+}
+
+// runShards executes one window across the fleet: the calling goroutine
+// participates as a worker, so a one-shard set runs inline with no
+// synchronization beyond two atomic adds.
+//partib:hotpath
+func (s *ShardSet) runShards(end Time) {
+	n := int64(len(s.engines))
+	s.claim.Store(0)
+	s.finished.Store(0)
+	s.round.Add(1)
+	for _, w := range s.workers {
+		if w.parked.Load() {
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.claimLoop(end)
+	// Wait for stragglers (shards claimed by fleet workers).
+	for spin := 0; s.finished.Load() < n; {
+		if spin < spinRounds {
+			spin++
+			runtime.Gosched()
+			continue
+		}
+		s.coordinator.parked.Store(true)
+		if s.finished.Load() >= n {
+			s.coordinator.parked.Store(false)
+			break
+		}
+		<-s.coordinator.wake
+		s.coordinator.parked.Store(false)
+	}
+}
+
+// claimLoop claims and runs shards until none remain, then reports them
+// finished. It runs on the coordinator and on every fleet worker.
+//partib:hotpath
+func (s *ShardSet) claimLoop(end Time) {
+	n := int64(len(s.engines))
+	for {
+		i := s.claim.Add(1) - 1
+		if i >= n {
+			return
+		}
+		s.engines[i].runWindow(end)
+		if s.finished.Add(1) == n {
+			if s.coordinator.parked.Load() {
+				select {
+				case s.coordinator.wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// workerLoop is the fleet goroutine body: wait for a round, claim shards,
+// repeat until the set shuts down.
+func (s *ShardSet) workerLoop(w *worker, end *atomic.Int64) {
+	last := s.round.Load()
+	for {
+		for spin := 0; s.round.Load() == last; {
+			if spin < spinRounds {
+				spin++
+				runtime.Gosched()
+				continue
+			}
+			w.parked.Store(true)
+			if s.round.Load() != last {
+				w.parked.Store(false)
+				break
+			}
+			<-w.wake
+			w.parked.Store(false)
+		}
+		last = s.round.Load()
+		if s.quit.Load() {
+			return
+		}
+		s.claimLoop(Time(end.Load()))
+	}
+}
+
+// Run drives every shard to completion and returns the first error in
+// shard order (a proc panic) or an aggregated deadlock report. Workers is
+// the fleet size including the calling goroutine; 0 selects
+// min(shards, GOMAXPROCS).
+func (s *ShardSet) Run(workers int) error {
+	defer func() {
+		for _, e := range s.engines {
+			e.flushStats()
+		}
+	}()
+	if len(s.engines) == 1 {
+		// One shard is the serial engine with extra steps; skip them.
+		return s.engines[0].Run()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.engines) {
+		workers = len(s.engines)
+	}
+	// endShared publishes the window end to fleet workers; windowEnd
+	// remains the Post-assertion bound (same value, written pre-release).
+	var endShared atomic.Int64
+	for i := 1; i < workers; i++ {
+		w := &worker{wake: make(chan struct{}, 1)}
+		s.workers = append(s.workers, w)
+		go s.workerLoop(w, &endShared)
+	}
+	defer func() {
+		s.quit.Store(true)
+		s.round.Add(1)
+		for _, w := range s.workers {
+			if w.parked.Load() {
+				select {
+				case w.wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+		s.workers = nil
+	}()
+
+	for {
+		// Barrier section: workers quiesced. Deliver cross-shard traffic,
+		// then find the global minimum next event.
+		s.drain()
+		tmin, any := Time(0), false
+		for _, e := range s.engines {
+			if at, ok := e.nextAt(); ok && (!any || at < tmin) {
+				tmin, any = at, true
+			}
+		}
+		if !any {
+			break
+		}
+		end := tmin.Add(s.lambda)
+		s.windowEnd = end
+		endShared.Store(int64(end))
+		s.windows++
+		before := uint64(0)
+		for _, e := range s.engines {
+			before += e.stepped
+		}
+		s.runShards(end)
+		fired := uint64(0)
+		for _, e := range s.engines {
+			fired += e.stepped
+		}
+		fired -= before
+		if fired < uint64(len(s.engines)) {
+			// At least one shard had nothing to do inside this window.
+			s.stalls++
+		}
+		for _, e := range s.engines {
+			if e.err != nil {
+				return e.err
+			}
+		}
+	}
+	// Global drain: queues and mailboxes are empty, so parked non-daemon
+	// procs can never wake — aggregate them across shards.
+	var stuck []string
+	for _, e := range s.engines {
+		stuck = append(stuck, e.stuckProcs()...)
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return &DeadlockError{Procs: stuck}
+	}
+	return nil
+}

@@ -132,6 +132,12 @@ type Engine struct {
 	// procs; each Spawn still starts a fresh goroutine. See Spawn.
 	procFree []*Proc
 
+	// shard links the engine to its ShardSet when it runs as one shard of
+	// a conservative parallel simulation (see shard.go); nil for serial
+	// engines. shardID is the engine's index within the set.
+	shard   *ShardSet
+	shardID int
+
 	// Tier 0: same-instant dispatch ring (all entries have at == now).
 	ringH *event
 	ringT *event
@@ -625,6 +631,53 @@ func (e *Engine) scheduleCall(at Time, fire func(Time, any), arg any) *event {
 	return ev
 }
 
+// Post schedules the typed callback fire(now, arg) at time at on engine
+// dst. On the same engine — or in a serial simulation — it is exactly
+// AtCall. Across shards of a ShardSet the event goes to the pair's SPSC
+// mailbox and is scheduled on dst at the next window boundary; at must
+// then be at least one lookahead past the posting event (the shard set
+// asserts at ≥ window end and panics otherwise — a violation means the
+// lookahead bound is wrong and conservative execution is unsound).
+//partib:hotpath
+func (e *Engine) Post(dst *Engine, at Time, fire func(Time, any), arg any) {
+	if dst == e || e.shard == nil || dst.shard != e.shard {
+		// Same engine, serial simulation, or an engine outside the set
+		// (foreign engines only appear in single-threaded tests).
+		dst.scheduleCall(at, fire, arg)
+		return
+	}
+	e.shard.post(e.shardID, dst.shardID, at, fire, arg)
+}
+
+// runWindow executes events with timestamps strictly below end, leaving
+// the clock at the last fired event (not forced to end: a shard with no
+// event this window must keep now ≤ its next event so nothing schedules
+// into the past). It is the per-shard body of one ShardSet window and
+// runs on whichever worker claimed the shard — exclusively, so no
+// engine state needs synchronization.
+//partib:hotpath
+func (e *Engine) runWindow(end Time) {
+	for e.err == nil {
+		ev, slot := e.next()
+		if ev == nil || ev.at >= end {
+			return
+		}
+		e.take(ev, slot)
+		e.fireEvent(ev)
+	}
+}
+
+// nextAt reports the timestamp of the earliest live event without
+// dispatching it. The shard coordinator uses it between windows to find
+// the global minimum next-event time.
+func (e *Engine) nextAt() (Time, bool) {
+	ev, _ := e.next()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // recycle returns a popped event to the free list. Callback and argument
 // references are dropped so captured state can be collected.
 //partib:hotpath
@@ -685,6 +738,14 @@ func (e *Engine) AfterFunc(d time.Duration, fn func()) *Timer {
 // from running (false if it already ran or was already stopped). Stop is
 // O(1) in every tier: the event is only marked and the queue skips and
 // recycles it when a scan next encounters it (lazy cancellation).
+//
+// The seq guard below also protects sharded runs: once the timer's event
+// has fired and been recycled, the very next mailbox drain may re-arm the
+// same event struct with a cross-shard post migrated from another shard
+// (ShardSet.drain schedules through the same free list). The (ev, seq)
+// pair identifies the original occupant, so a stale Stop is a no-op for
+// the migrated event rather than a silent cancellation of someone else's
+// timeline.
 func (t *Timer) Stop() bool {
 	// ev is recycled after firing; a seq mismatch means this slot now
 	// belongs to a different, later event that must not be cancelled.
@@ -748,8 +809,9 @@ func (e *Engine) RunUntil(t Time) error {
 	return nil
 }
 
-// checkDeadlock reports parked non-daemon procs when no events remain.
-func (e *Engine) checkDeadlock() error {
+// stuckProcs lists parked non-daemon procs (name and park reason),
+// unsorted; callers sort after aggregating across shards.
+func (e *Engine) stuckProcs() []string {
 	var stuck []string
 	for p := range e.live {
 		if p.daemon || p.done {
@@ -757,6 +819,12 @@ func (e *Engine) checkDeadlock() error {
 		}
 		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.parkReason))
 	}
+	return stuck
+}
+
+// checkDeadlock reports parked non-daemon procs when no events remain.
+func (e *Engine) checkDeadlock() error {
+	stuck := e.stuckProcs()
 	if len(stuck) == 0 {
 		return nil
 	}

@@ -251,6 +251,105 @@ func WriteHotpathFile(path string, r HotpathReport) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// PdesShardRun is one measured pass of the PDES scaling workload at a
+// fixed shard count. The first run in a PdesReport is the serial oracle
+// (Shards = 1); every sharded pass is validated byte-identical against it
+// and reports its wall-clock speedup over it.
+type PdesShardRun struct {
+	// Shards is the conservative-PDES shard count of this pass (1 =
+	// serial engine, no shard runtime).
+	Shards int `json:"shards"`
+	// Seconds and Events cover the measured pass; EventsPerSec divides.
+	Seconds      float64 `json:"seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is the serial pass's wall time over this pass's.
+	Speedup float64 `json:"speedup_vs_serial"`
+	// AllocsPerEvent is heap allocations per event — the shard advance
+	// loop is required to add none over the serial engine.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Identical reports whether this pass produced per-iteration times
+	// byte-identical to the serial pass (trivially true for the serial
+	// pass itself).
+	Identical bool `json:"identical_to_serial"`
+	// Windows is the number of synchronization windows executed and
+	// WindowSyncStalls the windows in which at least one shard fired no
+	// event (pure barrier overhead for that shard).
+	Windows          uint64 `json:"windows,omitempty"`
+	WindowSyncStalls uint64 `json:"window_sync_stalls,omitempty"`
+	// CrossShardPosts counts events exchanged through mailboxes.
+	CrossShardPosts uint64 `json:"cross_shard_posts,omitempty"`
+	// PerShardEvents is the executed-event count per shard — the load
+	// balance the contiguous node partitioning achieves.
+	PerShardEvents []uint64 `json:"per_shard_events,omitempty"`
+}
+
+// PdesReport is the machine-readable record of the conservative-PDES
+// scaling benchmark (written as BENCH_pdes.json by cmd/partbench): a
+// fixed 1024-rank Sweep3D workload run on the serial engine and then at
+// increasing shard counts, each sharded pass validated byte-identical to
+// the serial one.
+type PdesReport struct {
+	Tool string `json:"tool"`
+	// Workload names the fixed workload measured.
+	Workload   string `json:"workload"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// LookaheadNs is the LogGP lookahead λ (the fabric's minimum
+	// cross-node latency) bounding every synchronization window.
+	LookaheadNs int64 `json:"lookahead_ns"`
+	// Runs holds one entry per shard count, serial first.
+	Runs []PdesShardRun `json:"runs"`
+	// Warning flags methodologically meaningless speedups — set when the
+	// process has one core, so shards time-slice instead of running in
+	// parallel.
+	Warning string `json:"warning,omitempty"`
+}
+
+// NewPdesRun assembles one PdesShardRun from a measured pass.
+// serialSec ≤ 0 marks the pass itself as the serial oracle.
+func NewPdesRun(shards int, sec float64, events, allocs uint64, serialSec float64, identical bool) PdesShardRun {
+	r := PdesShardRun{
+		Shards:    shards,
+		Seconds:   sec,
+		Events:    events,
+		Identical: identical,
+	}
+	if sec > 0 {
+		r.EventsPerSec = float64(events) / sec
+		if serialSec > 0 {
+			r.Speedup = serialSec / sec
+		} else {
+			r.Speedup = 1
+		}
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(allocs) / float64(events)
+	}
+	return r
+}
+
+// ReadPdesFile parses a previously written PDES scaling report.
+func ReadPdesFile(path string) (PdesReport, error) {
+	var r PdesReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WritePdesFile writes the report as indented JSON to path.
+func WritePdesFile(path string, r PdesReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 // WriteReportFile writes the report as indented JSON to path.
 func WriteReportFile(path string, r BenchReport) error {
 	b, err := json.MarshalIndent(r, "", "  ")
