@@ -78,9 +78,11 @@ bench-pdes:
 	$(GO) run ./cmd/partbench -pdesjson BENCH_pdes.json
 
 # CI smoke variant: small workload, two shards, same parity assert;
-# exits nonzero if the sharded pass diverges from serial.
+# exits nonzero if the sharded pass diverges from serial or if skip-ahead
+# regresses past the dispatch-window ceiling (the quick workload records
+# 5 fleet windows; 40 leaves headroom without admitting a λ-march).
 bench-pdes-smoke:
-	$(GO) run ./cmd/partbench -pdesjson /dev/null -quick
+	$(GO) run ./cmd/partbench -pdesjson /dev/null -quick -windowceiling 40
 
 # Regenerate BENCH_parallel.json: serial-vs-parallel tuning sweep report.
 bench-parallel:

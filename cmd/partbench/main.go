@@ -57,6 +57,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
 	hotpathJSON := flag.String("hotpathjson", "", "run the fixed single-engine hot-path workload and write its report to this file")
 	pdesJSON := flag.String("pdesjson", "", "run the conservative-PDES scaling workload and write its report to this file")
+	windowCeiling := flag.Uint64("windowceiling", 0, "with -pdesjson: fail if any sharded run executes more dispatch windows than this (0 = no gate)")
 	shards := flag.Int("shards", 0, "conservative-PDES shard count per simulation (0 or 1 = serial; output is identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -113,7 +114,7 @@ func main() {
 	}
 
 	if *pdesJSON != "" {
-		if err := runPdes(*pdesJSON, *quick); err != nil {
+		if err := runPdes(*pdesJSON, *quick, *windowCeiling); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: pdes: %v\n", err)
 			os.Exit(1)
 		}
@@ -310,7 +311,7 @@ func runHotpath(path string) error {
 // paper-scale 1024-rank grid; -quick substitutes a small smoke grid at
 // two shards (the CI parity gate). Any parity miss is a hard error — a
 // sharded simulator that changes results is wrong, not slow.
-func runPdes(path string, quick bool) error {
+func runPdes(path string, quick bool, windowCeiling uint64) error {
 	workload := "sweep3d 32x32 ranks=1024 threads=4 bytes=16KiB iters=2 ploggp"
 	shardCounts := []int{2, 4, 8}
 	base := bench.SweepConfig{
@@ -368,15 +369,25 @@ func runPdes(path string, quick bool) error {
 		run := sweep.NewPdesRun(shards, sec, events, allocs, serialSec, identical)
 		if st := res.ShardStats; st != nil {
 			run.Windows = st.Windows
+			run.TminHops = st.TminHops
+			run.WindowsSkipped = st.WindowsSkipped
+			run.AvgWindowOccupancy = st.AvgWindowOccupancy
 			run.WindowSyncStalls = st.Stalls
 			run.CrossShardPosts = st.CrossPosts
 			run.PerShardEvents = st.Events
 		}
 		report.Runs = append(report.Runs, run)
 		fmt.Fprintf(os.Stderr,
-			"partbench: pdes shards=%d %.2fs, %d events, %.0f events/sec (%.2fx serial), %d windows (%d stalls), %d cross-posts, identical=%v\n",
+			"partbench: pdes shards=%d %.2fs, %d events, %.0f events/sec (%.2fx serial), %d windows / %d tmin hops (%d skipped, %.1f events/hop, %d stalls), %d cross-posts, identical=%v\n",
 			shards, sec, events, run.EventsPerSec, run.Speedup,
-			run.Windows, run.WindowSyncStalls, run.CrossShardPosts, identical)
+			run.Windows, run.TminHops, run.WindowsSkipped, run.AvgWindowOccupancy,
+			run.WindowSyncStalls, run.CrossShardPosts, identical)
+		if windowCeiling > 0 && run.Windows > windowCeiling {
+			if werr := sweep.WritePdesFile(path, report); werr != nil {
+				return werr
+			}
+			return fmt.Errorf("shards=%d executed %d windows, above the -windowceiling gate of %d", shards, run.Windows, windowCeiling)
+		}
 		if !identical {
 			if werr := sweep.WritePdesFile(path, report); werr != nil {
 				return werr

@@ -1,5 +1,7 @@
 package a
 
+import "sync/atomic"
+
 // This file models the conservative-shard hot path: the per-window
 // advance loop and the cross-shard mailbox post. The advance loop must be
 // allocation-free; the mailbox append is the one sanctioned amortized
@@ -43,4 +45,58 @@ func (m *shardMailbox) advance(end int64, fire func(int64, *item)) {
 		p.arg = nil
 	}
 	m.buf = m.buf[:copy(m.buf, m.buf[i:])]
+}
+
+// atomicMin is the decentralized barrier's Tmin reduction shape: a bare
+// CAS retry loop over one shared word, allocating nothing.
+//partib:hotpath
+func atomicMin(m *atomic.Int64, at int64) {
+	for {
+		cur := m.Load()
+		if at >= cur {
+			return
+		}
+		if m.CompareAndSwap(cur, at) {
+			return
+		}
+	}
+}
+
+// atomicMinDeferred is the shape the reduction must NOT take: wrapping
+// the retry in a closure (e.g. for a helper or defer) allocates the
+// captures on every publish.
+//partib:hotpath
+func atomicMinDeferred(m *atomic.Int64, at int64) {
+	publish := func() bool { // want "defines a closure"
+		cur := m.Load()
+		return at >= cur || m.CompareAndSwap(cur, at)
+	}
+	for !publish() {
+	}
+}
+
+// drainSealed is the worker-side drain shape: the claimer walks its
+// destination's sealed snapshots in fixed source order and schedules each
+// entry into existing engine memory. Reads only — no compaction, no
+// clearing — so the loop is allocation-free.
+//partib:hotpath
+func drainSealed(sealed [][]shardPost, fire func(int64, *item)) {
+	for src := 0; src < len(sealed); src++ {
+		for i := range sealed[src] {
+			p := &sealed[src][i]
+			fire(p.at, p.arg)
+		}
+	}
+}
+
+// drainSealedBoxed is the drain shape gone wrong: building a fresh
+// per-entry callback record boxes and allocates on every delivered post.
+//partib:hotpath
+func drainSealedBoxed(sealed [][]shardPost, schedule func(any)) {
+	for src := 0; src < len(sealed); src++ {
+		for i := range sealed[src] {
+			p := sealed[src][i]
+			schedule(p) // want "boxes a value into interface parameter"
+		}
+	}
 }

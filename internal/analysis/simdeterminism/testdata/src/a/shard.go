@@ -39,3 +39,39 @@ func drainSorted(m mailboxMap, deliver func(int)) {
 func windowDeadline(budget time.Duration) time.Time {
 	return time.Now().Add(budget) // want "time.Now in a sim-reachable package"
 }
+
+// sealedBox models the decentralized-barrier mailbox matrix: sealed[src]
+// holds the snapshot a worker drains for its claimed destination.
+type sealedBox struct {
+	sealed [][]int
+}
+
+// drainWorker is the sanctioned worker-side drain shape: the claimer walks
+// its destination's sealed snapshots dst-major/src-minor over plain slices,
+// so delivery (and therefore seq assignment) is a pure function of the
+// sealed contents.
+func drainWorker(boxes []sealedBox, dst int, deliver func(int)) {
+	for src := range boxes[dst].sealed {
+		for _, at := range boxes[dst].sealed[src] {
+			deliver(at)
+		}
+	}
+}
+
+// drainWorkerKeyed regresses to keying the snapshots by source in a map:
+// delivery order — and every seq the engine assigns downstream — would
+// follow Go's randomized map iteration.
+func drainWorkerKeyed(sealed map[int][]int, deliver func(int)) {
+	for _, posts := range sealed {
+		for _, at := range posts {
+			deliver(at) // want "call to deliver while ranging over a map"
+		}
+	}
+}
+
+// hopDeadline spins on the hop counter against a wall-clock budget: the
+// park/wake decision would then depend on host scheduling, not virtual
+// state.
+func hopDeadline(spins int) bool {
+	return time.Since(time.Time{}) > 0 && spins > 0 // want "time.Since in a sim-reachable package"
+}

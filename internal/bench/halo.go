@@ -166,6 +166,30 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 			}
 		}
 
+		// The group and the per-thread bodies are allocated once and reused
+		// every round (see RunSweep): per-round closures otherwise dominate
+		// the benchmark's allocation profile.
+		g := sim.NewGroup(p.Engine())
+		threads := make([]func(tp *sim.Proc), cfg.Threads)
+		for t := 0; t < cfg.Threads; t++ {
+			t := t
+			threads[t] = func(tp *sim.Proc) {
+				defer g.Done()
+				compute := cfg.Compute
+				if t == laggard {
+					compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
+				}
+				if compute > 0 {
+					r.Compute(tp, compute)
+				}
+				for _, ps := range sends {
+					if err := ps.Pready(tp, t); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+
 		for iter := 0; iter < total; iter++ {
 			r.Barrier(p)
 			if id == 0 {
@@ -177,25 +201,9 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 			for _, ps := range sends {
 				ps.Start(p)
 			}
-			g := sim.NewGroup(p.Engine())
 			for t := 0; t < cfg.Threads; t++ {
-				t := t
 				g.Add(1)
-				p.Engine().Spawn("halo-thread", func(tp *sim.Proc) {
-					defer g.Done()
-					compute := cfg.Compute
-					if t == laggard {
-						compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
-					}
-					if compute > 0 {
-						r.Compute(tp, compute)
-					}
-					for _, ps := range sends {
-						if err := ps.Pready(tp, t); err != nil {
-							panic(err)
-						}
-					}
-				})
+				p.Engine().Spawn("halo-thread", threads[t])
 			}
 			g.Wait(p)
 			for _, pr := range recvs {

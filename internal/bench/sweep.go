@@ -185,21 +185,52 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 			}
 		}
 
+		// The group and the per-thread bodies are allocated once and reused
+		// every round: with thousands of ranks iterating, per-round closures
+		// are the dominant allocation source of the whole benchmark.
+		g := sim.NewGroup(p.Engine())
+		threads := make([]func(tp *sim.Proc), cfg.Threads)
+		for t := 0; t < cfg.Threads; t++ {
+			t := t
+			threads[t] = func(tp *sim.Proc) {
+				defer g.Done()
+				compute := cfg.Compute
+				if t == laggard {
+					compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
+				}
+				if compute > 0 {
+					r.Compute(tp, compute)
+				}
+				if sr.sendE != nil {
+					if err := sr.sendE.Pready(tp, t); err != nil {
+						panic(err)
+					}
+				}
+				if sr.sendS != nil {
+					if err := sr.sendS.Pready(tp, t); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+
 		for iter := 0; iter < total; iter++ {
 			r.Barrier(p)
 			if id == 0 {
 				iterStarts[iter] = p.Now()
 			}
 			// Arm all requests for the round.
-			for _, pr := range []*core.Precv{sr.recvW, sr.recvN} {
-				if pr != nil {
-					pr.Start(p)
-				}
+			if sr.recvW != nil {
+				sr.recvW.Start(p)
 			}
-			for _, ps := range []*core.Psend{sr.sendE, sr.sendS} {
-				if ps != nil {
-					ps.Start(p)
-				}
+			if sr.recvN != nil {
+				sr.recvN.Start(p)
+			}
+			if sr.sendE != nil {
+				sr.sendE.Start(p)
+			}
+			if sr.sendS != nil {
+				sr.sendS.Start(p)
 			}
 			// Wait for the wavefront to reach this rank.
 			if sr.recvW != nil {
@@ -209,36 +240,16 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 				sr.recvN.Wait(p)
 			}
 			// Compute and mark partitions ready toward east and south.
-			g := sim.NewGroup(p.Engine())
 			for t := 0; t < cfg.Threads; t++ {
-				t := t
 				g.Add(1)
-				p.Engine().Spawn("sweep-thread", func(tp *sim.Proc) {
-					defer g.Done()
-					compute := cfg.Compute
-					if t == laggard {
-						compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
-					}
-					if compute > 0 {
-						r.Compute(tp, compute)
-					}
-					if sr.sendE != nil {
-						if err := sr.sendE.Pready(tp, t); err != nil {
-							panic(err)
-						}
-					}
-					if sr.sendS != nil {
-						if err := sr.sendS.Pready(tp, t); err != nil {
-							panic(err)
-						}
-					}
-				})
+				p.Engine().Spawn("sweep-thread", threads[t])
 			}
 			g.Wait(p)
-			for _, ps := range []*core.Psend{sr.sendE, sr.sendS} {
-				if ps != nil {
-					ps.Wait(p)
-				}
+			if sr.sendE != nil {
+				sr.sendE.Wait(p)
+			}
+			if sr.sendS != nil {
+				sr.sendS.Wait(p)
 			}
 			// The wavefront completes when the south-east corner finishes.
 			if x == cfg.GridX-1 && y == cfg.GridY-1 {

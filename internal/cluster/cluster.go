@@ -71,13 +71,17 @@ func (c Config) Validate() error {
 		}
 		// The flow pipeline reuses one reservation slot per in-flight
 		// message (fabric.flowMsg): consecutive bursts must be injected
-		// more than WireLatency+lookahead apart so the previous
-		// reservation has fired — in an earlier synchronization window —
-		// before the slot is rewritten. Full-burst pacing provides that
-		// spacing; reject cost models too fast for it.
+		// more than the pair wire latency plus the pair lookahead apart so
+		// the previous reservation has fired — in an earlier
+		// synchronization hop — before the slot is rewritten. Full-burst
+		// pacing provides that spacing; reject cost models too fast for
+		// it. With rack topology the slowest pair (both terms widened by
+		// InterRackExtra) sets the requirement.
 		pace := time.Duration(float64(c.Fabric.BurstBytes) * c.Fabric.PerQPByteTime)
-		if need := c.Fabric.WireLatency + la; pace < need {
-			return fmt.Errorf("cluster: sharding needs burst pace %v >= wire latency + lookahead %v; raise BurstBytes or run serial", pace, need)
+		maxWire := c.Fabric.WireLatency + c.Fabric.InterRackExtra
+		maxLa := la + c.Fabric.InterRackExtra
+		if need := maxWire + maxLa; pace < need {
+			return fmt.Errorf("cluster: sharding needs burst pace %v >= max pair wire latency + max pair lookahead %v; raise BurstBytes or run serial", pace, need)
 		}
 	}
 	return nil
@@ -146,6 +150,9 @@ func New(cfg Config) *Cluster {
 	var e *sim.Engine
 	if nshard > 1 {
 		set = sim.NewShardSet(nshard, cfg.Fabric.Lookahead())
+		if m := shardLookaheadMatrix(cfg, nshard); m != nil {
+			set.SetLookaheadMatrix(m)
+		}
 		e = set.Engine(0)
 	} else {
 		e = sim.NewEngine()
@@ -166,6 +173,47 @@ func New(cfg Config) *Cluster {
 		})
 	}
 	return c
+}
+
+// shardLookaheadMatrix derives the per-pair shard lookahead matrix from
+// the fabric's rack topology, or returns nil when the topology is flat
+// (no matrix needed — the scalar floor is exact). Shards own contiguous
+// node slabs and HCA ports are created in node order, so port ID equals
+// node ID and each shard covers a contiguous rack range: a shard pair
+// whose rack ranges are disjoint interacts only across racks, and every
+// such interaction carries the inter-rack extra on top of the base
+// latencies — so the pair lookahead widens by exactly that much. Pairs
+// whose rack ranges overlap may contain a same-rack port pair and keep
+// the global floor.
+func shardLookaheadMatrix(cfg Config, nshard int) [][]time.Duration {
+	if cfg.Fabric.RackSize <= 0 || cfg.Fabric.InterRackExtra <= 0 {
+		return nil
+	}
+	la := cfg.Fabric.Lookahead()
+	loRack := make([]int, nshard)
+	hiRack := make([]int, nshard)
+	for s := range loRack {
+		loRack[s] = -1
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		s := i * nshard / cfg.Nodes
+		r := i / cfg.Fabric.RackSize
+		if loRack[s] < 0 {
+			loRack[s] = r
+		}
+		hiRack[s] = r
+	}
+	m := make([][]time.Duration, nshard)
+	for s := range m {
+		m[s] = make([]time.Duration, nshard)
+		for d := range m[s] {
+			m[s][d] = la
+			if s != d && (hiRack[s] < loRack[d] || hiRack[d] < loRack[s]) {
+				m[s][d] = la + cfg.Fabric.InterRackExtra
+			}
+		}
+	}
+	return m
 }
 
 // Config returns the cluster's configuration.

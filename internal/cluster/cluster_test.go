@@ -144,3 +144,114 @@ func TestNegativeQuantumRejected(t *testing.T) {
 		t.Fatal("negative quantum accepted")
 	}
 }
+
+// TestShardLookaheadMatrixRackTopology pins the shard-pair lookahead
+// derivation from the rack topology: shard pairs whose contiguous node
+// slabs cover disjoint rack ranges interact only across racks and widen
+// by InterRackExtra; pairs sharing a rack keep the global floor; and a
+// flat fabric derives no matrix at all.
+func TestShardLookaheadMatrixRackTopology(t *testing.T) {
+	cfg := NiagaraConfig(8)
+	cfg.Shards = 4
+	la := cfg.Fabric.Lookahead()
+
+	// Flat fabric: no matrix, scalar floor everywhere.
+	c := New(cfg)
+	set := c.ShardSet()
+	if set == nil {
+		t.Fatal("sharded cluster returned nil ShardSet")
+	}
+	if got := set.PairLookahead(0, 3); got != la {
+		t.Fatalf("flat fabric pair lookahead = %v, want floor %v", got, la)
+	}
+
+	// Two nodes per rack, one rack per shard: every shard pair is
+	// rack-disjoint and widens.
+	extra := 750 * time.Nanosecond
+	cfg.Fabric.RackSize = 2
+	cfg.Fabric.InterRackExtra = extra
+	set = New(cfg).ShardSet()
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			want := la
+			if s != d {
+				want = la + extra
+			}
+			if got := set.PairLookahead(s, d); got != want {
+				t.Errorf("rack-per-shard λ[%d][%d] = %v, want %v", s, d, got, want)
+			}
+		}
+	}
+
+	// Racks of 3 straddle shard boundaries: shards 0 (nodes 0-1, rack 0)
+	// and 1 (nodes 2-3, racks 0-1) overlap in rack 0 and keep the floor,
+	// while shards 0 and 3 (nodes 6-7, rack 2) are disjoint and widen.
+	cfg.Fabric.RackSize = 3
+	set = New(cfg).ShardSet()
+	if got := set.PairLookahead(0, 1); got != la {
+		t.Errorf("overlapping racks λ[0][1] = %v, want floor %v", got, la)
+	}
+	if got := set.PairLookahead(0, 3); got != la+extra {
+		t.Errorf("disjoint racks λ[0][3] = %v, want %v", got, la+extra)
+	}
+}
+
+// TestRackTopologyShardedMatchesSerial is the cluster-level differential
+// for the per-pair path: a rack topology (which both stretches cross-rack
+// interactions in the cost model and hands the shard runtime a non-uniform
+// lookahead matrix) must leave sharded timing byte-identical to serial.
+func TestRackTopologyShardedMatchesSerial(t *testing.T) {
+	run := func(shards int) []sim.Time {
+		cfg := NiagaraConfig(8)
+		cfg.CoresPerNode = 2
+		cfg.Fabric.RackSize = 2
+		cfg.Fabric.InterRackExtra = 750 * time.Nanosecond
+		cfg.Shards = shards
+		c := New(cfg)
+		ends := make([]sim.Time, cfg.Nodes)
+		for i, n := range c.Nodes {
+			i, n := i, n
+			n.Engine.Spawn("load", func(p *sim.Proc) {
+				// Compute, ping the next node's port via the control
+				// plane, compute again on reply.
+				n.Compute(p, 5*time.Microsecond)
+				ends[i] = p.Now()
+			})
+		}
+		// Cross-node traffic: every node bursts to its neighbor two racks
+		// over so flows cross both rack and shard boundaries.
+		fab := c.Fabric
+		ports := make([]*fabric.Port, cfg.Nodes)
+		for i := range ports {
+			ports[i] = c.Nodes[i].HCA.Port()
+		}
+		// Each destination receives exactly one message, so the flag row is
+		// written only by its own node's engine — race-free under sharding.
+		delivered := make([]bool, cfg.Nodes)
+		for i := range ports {
+			dst := (i + 4) % cfg.Nodes
+			fl := fab.NewFlow(ports[i], ports[dst])
+			fl.Send(fabric.Message{Bytes: 8192, OnDeliver: func(at sim.Time) {
+				delivered[dst] = true
+			}})
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for dst, ok := range delivered {
+			if !ok {
+				t.Fatalf("shards=%d: no delivery to node %d", shards, dst)
+			}
+		}
+		return ends
+	}
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: node %d finished at %v, serial at %v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -68,6 +68,18 @@ type Config struct {
 	MsgGap time.Duration
 	// CtrlLatency is the control-plane one-way latency.
 	CtrlLatency time.Duration
+	// RackSize groups ports into racks of this many consecutive IDs
+	// (ports are created in node order, so contiguous IDs are physical
+	// neighbours). 0 disables rack topology: every port shares one rack
+	// and all pair latencies equal the base latencies.
+	RackSize int
+	// InterRackExtra is the additional one-way propagation latency
+	// charged on every port-to-port interaction (wire, ack, control)
+	// whose endpoints sit in different racks — the longer path through
+	// the aggregation level of the switch hierarchy. Zero keeps the
+	// fabric a flat single-switch network, byte-identical to the model
+	// before racks existed.
+	InterRackExtra time.Duration
 }
 
 // DefaultConfig returns an EDR-InfiniBand-like cost model: ~11.7 GB/s link,
@@ -108,6 +120,12 @@ func (c Config) Validate() error {
 	case c.WireLatency < 0 || c.AckLatency < 0 || c.WRProcess < 0 ||
 		c.InlineWRProcess < 0 || c.MsgGap < 0 || c.CtrlLatency < 0:
 		return fmt.Errorf("fabric: negative latency parameter")
+	case c.RackSize < 0:
+		return fmt.Errorf("fabric: negative RackSize")
+	case c.InterRackExtra < 0:
+		return fmt.Errorf("fabric: negative InterRackExtra")
+	case c.InterRackExtra > 0 && c.RackSize == 0:
+		return fmt.Errorf("fabric: InterRackExtra %v needs RackSize > 0", c.InterRackExtra)
 	}
 	return nil
 }
@@ -120,7 +138,9 @@ func (c Config) LinkBandwidth() float64 { return 1e9 / c.LinkByteTime }
 // port-to-port effect in this package (burst arrival, completion,
 // control delivery) is separated from its cause by at least this much
 // virtual time, so it is a sound conservative-PDES lookahead bound for
-// sharding the simulation along port boundaries (sim.ShardSet).
+// sharding the simulation along port boundaries (sim.ShardSet). With rack
+// topology enabled it is the global floor; PairLookahead gives the wider
+// per-pair bound.
 func (c Config) Lookahead() time.Duration {
 	l := c.WireLatency
 	if c.AckLatency < l {
@@ -130,6 +150,34 @@ func (c Config) Lookahead() time.Duration {
 		l = c.CtrlLatency
 	}
 	return l
+}
+
+// rackOf returns the rack index of a port ID (0 when rack topology is
+// disabled).
+func (c Config) rackOf(id int) int {
+	if c.RackSize <= 0 {
+		return 0
+	}
+	return id / c.RackSize
+}
+
+// pairExtra returns the extra one-way latency between two port IDs: zero
+// within a rack, InterRackExtra across racks. It is symmetric.
+//partib:hotpath
+func (c Config) pairExtra(a, b int) time.Duration {
+	if c.RackSize <= 0 || a/c.RackSize == b/c.RackSize {
+		return 0
+	}
+	return c.InterRackExtra
+}
+
+// PairLookahead returns the smallest interaction latency between two
+// specific ports: the global floor plus the pair's inter-rack extra.
+// Every effect the fabric schedules from port a onto port b's engine is
+// at least this far in the future, so it is a sound per-pair
+// conservative-PDES lookahead (sim.ShardSet.SetLookaheadMatrix).
+func (c Config) PairLookahead(a, b int) time.Duration {
+	return c.Lookahead() + c.pairExtra(a, b)
 }
 
 // TrueParams expresses the fabric's own costs as a LogGP parameter set
@@ -220,6 +268,11 @@ func (f *Fabric) NewPortOn(e *sim.Engine, name string) *Port {
 // Name returns the port's name.
 func (p *Port) Name() string { return p.name }
 
+// ID returns the port's fabric-wide index (creation order). Ports are
+// created in node order, so the ID doubles as the topology coordinate the
+// rack model (Config.RackSize) partitions.
+func (p *Port) ID() int { return p.id }
+
 // Engine returns the engine (shard) that owns the port.
 func (p *Port) Engine() *sim.Engine { return p.eng }
 
@@ -249,13 +302,15 @@ type ctrlDelivery struct {
 }
 
 // fireCtrlArrive runs on the destination engine when a control message
-// arrives (one control latency after the send). It applies the
-// destination's FIFO serialization: an uncontended arrival is delivered
-// inline; an arrival at or before the previous delivery instant is pushed
-// one nanosecond behind it. Because arrivals are the sends shifted by the
-// constant CtrlLatency, they fire in send order, so the serialization
-// sequence — and every delivery timestamp — is identical to charging the
-// cursor at send time the way a single serial engine would.
+// arrives (one control latency — plus the pair's inter-rack extra — after
+// the send). It applies the destination's FIFO serialization: an
+// uncontended arrival is delivered inline; an arrival at or before the
+// previous delivery instant is pushed one nanosecond behind it. Arrivals
+// from one sender are its sends shifted by a per-pair constant, so they
+// fire in send order and per-sender FIFO holds; across senders the
+// serialization follows arrival timestamps, a deterministic total order —
+// and every delivery timestamp is identical to charging the cursor at
+// arrival time the way a single serial engine would.
 func fireCtrlArrive(at sim.Time, arg any) {
 	cd := arg.(*ctrlDelivery)
 	dst := cd.dst
@@ -297,7 +352,8 @@ func (p *Port) SendControl(dst *Port, payload any) {
 		cd = new(ctrlDelivery)
 	}
 	cd.src, cd.dst, cd.payload = p, dst, payload
-	e.Post(dst.eng, e.Now().Add(p.fab.cfg.CtrlLatency), fireCtrlArrive, cd)
+	lat := p.fab.cfg.CtrlLatency + p.fab.cfg.pairExtra(p.id, dst.id)
+	e.Post(dst.eng, e.Now().Add(lat), fireCtrlArrive, cd)
 }
 
 // Message is one fabric-level transfer (the realization of one work
@@ -344,6 +400,15 @@ type Flow struct {
 	paceFreeAt sim.Time
 	// msgFreeAt is when the flow may begin processing its next WR.
 	msgFreeAt sim.Time
+
+	// Pair latencies, precomputed at NewFlow so the per-burst hot path
+	// does no topology arithmetic: the forward wire latency src→dst, the
+	// return ack latency dst→src, and the return release gap (the pair
+	// lookahead), each including the inter-rack extra when the endpoints
+	// sit in different racks.
+	wireLat time.Duration
+	ackLat  time.Duration
+	relLat  time.Duration
 }
 
 // flowMsg is the in-flight state of one message. It doubles as the
@@ -353,11 +418,12 @@ type Flow struct {
 // The resv* fields are a single-slot channel from the injection side to
 // the arrival side, rewritten per burst. The reuse is race-free under
 // sharding because consecutive writes are at least one full-burst pace
-// apart, which Cluster validates to exceed WireLatency + lookahead: the
-// reservation carrying the previous value has then already fired in an
-// earlier synchronization window (and the window barrier orders the
-// memory accesses). Likewise the struct is recycled only on the source
-// engine, at least one lookahead after its final reservation fired.
+// apart, which Cluster validates to exceed the largest pair wire latency
+// plus the largest pair lookahead: the reservation carrying the previous
+// value has then already fired in an earlier synchronization hop (and
+// the hop barrier orders the memory accesses). Likewise the struct is
+// recycled only on the source engine, at least one pair lookahead after
+// its final reservation fired.
 type flowMsg struct {
 	fl          *Flow
 	msg         Message
@@ -389,7 +455,13 @@ func (f *Fabric) NewFlow(src, dst *Port) *Flow {
 	if src.fab != f || dst.fab != f {
 		panic("fabric: NewFlow ports belong to a different fabric")
 	}
-	return &Flow{fab: f, eng: src.eng, src: src, dst: dst}
+	extra := f.cfg.pairExtra(src.id, dst.id)
+	return &Flow{
+		fab: f, eng: src.eng, src: src, dst: dst,
+		wireLat: f.cfg.WireLatency + extra,
+		ackLat:  f.cfg.AckLatency + extra,
+		relLat:  f.cfg.Lookahead() + extra,
+	}
 }
 
 // Src returns the sending port.
@@ -492,9 +564,9 @@ func (fl *Flow) step() {
 	}
 
 	fm.remaining -= burst
-	fm.resvArrive = egressEnd.Add(cfg.WireLatency)
+	fm.resvArrive = egressEnd.Add(fl.wireLat)
 	fm.resvFinal = fm.remaining == 0
-	e.Post(fl.dst.eng, e.Now().Add(cfg.WireLatency), fireIngressResv, fm)
+	e.Post(fl.dst.eng, e.Now().Add(fl.wireLat), fireIngressResv, fm)
 
 	if fm.remaining > 0 {
 		e.AtCall(fl.paceFreeAt, fireFlowStep, fl)
@@ -525,16 +597,15 @@ func fireIngressResv(_ sim.Time, arg any) {
 	}
 	fm.lastArrival = arrive
 	e := fl.dst.eng
-	cfg := fl.fab.cfg
 	e.AtCall(arrive, fireFlowDeliver, fm)
 	if fm.msg.OnAck != nil {
-		fm.ackAt = arrive.Add(cfg.AckLatency)
+		fm.ackAt = arrive.Add(fl.ackLat)
 		e.Post(fl.eng, fm.ackAt, fireFlowAck, fm)
 	} else {
 		// No completion requested: the struct still belongs to the source
-		// engine's free list, so send it home one lookahead after the
+		// engine's free list, so send it home one pair lookahead after the
 		// delivery (the recycle instant has no observable effect).
-		e.Post(fl.eng, arrive.Add(cfg.Lookahead()), fireFlowRelease, fm)
+		e.Post(fl.eng, arrive.Add(fl.relLat), fireFlowRelease, fm)
 	}
 }
 

@@ -119,3 +119,43 @@ func TestBandwidthNeverExceedsLink(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPairLookaheadFloorProperty: for every valid generated topology —
+// random rack size, inter-rack extra, and perturbed base latencies — the
+// per-pair lookahead of any port pair is at least the global floor,
+// symmetric, and exactly the floor within a rack. The shard runtime
+// depends on this invariant: SetLookaheadMatrix rejects entries below the
+// floor, and windows widened per pair are only sound if every pair bound
+// really dominates the scalar one.
+func TestPairLookaheadFloorProperty(t *testing.T) {
+	f := func(rackRaw uint8, extraRaw uint16, wireRaw, ackRaw, ctrlRaw uint16, aRaw, bRaw uint8) bool {
+		cfg := DefaultConfig()
+		cfg.RackSize = int(rackRaw % 9) // 0 (flat) .. 8
+		cfg.WireLatency = time.Duration(wireRaw%5000+1) * time.Nanosecond
+		cfg.AckLatency = time.Duration(ackRaw%5000+1) * time.Nanosecond
+		cfg.CtrlLatency = time.Duration(ctrlRaw%5000+1) * time.Nanosecond
+		if cfg.RackSize > 0 {
+			cfg.InterRackExtra = time.Duration(extraRaw%3000) * time.Nanosecond
+		}
+		if err := cfg.Validate(); err != nil {
+			// Only valid topologies make claims.
+			return true
+		}
+		floor := cfg.Lookahead()
+		a, b := int(aRaw%64), int(bRaw%64)
+		pair := cfg.PairLookahead(a, b)
+		if pair < floor {
+			return false
+		}
+		if pair != cfg.PairLookahead(b, a) {
+			return false
+		}
+		if cfg.RackSize > 0 && a/cfg.RackSize == b/cfg.RackSize && pair != floor {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -103,7 +103,17 @@ func runCascadeSerial(t *testing.T, nodes, hops int) ([][]Time, uint64) {
 // on shard i%shards.
 func runCascadeSharded(t *testing.T, nodes, hops, shards, workers int) ([][]Time, *ShardSet) {
 	t.Helper()
+	return runCascadeShardedOpts(t, nodes, hops, shards, workers, nil)
+}
+
+// runCascadeShardedOpts is runCascadeSharded with a configuration hook
+// applied before seeding (skip-ahead toggle, lookahead matrix).
+func runCascadeShardedOpts(t *testing.T, nodes, hops, shards, workers int, configure func(*ShardSet)) ([][]Time, *ShardSet) {
+	t.Helper()
 	s := NewShardSet(shards, cascadeLambda)
+	if configure != nil {
+		configure(s)
+	}
 	c := &cascade{engs: make([]*Engine, nodes), logs: make([][]Time, nodes)}
 	for i := range c.engs {
 		c.engs[i] = s.Engine(i % shards)
@@ -180,6 +190,11 @@ func TestShardSetWorkerCountIndependence(t *testing.T) {
 			t.Errorf("workers=%d: windows/crossposts %d/%d differ from workers=1 %d/%d",
 				workers, st.Windows, st.CrossPosts, refStats.Windows, refStats.CrossPosts)
 		}
+		if st.TminHops != refStats.TminHops || st.WindowsSkipped != refStats.WindowsSkipped || st.Stalls != refStats.Stalls {
+			t.Errorf("workers=%d: tminhops/skipped/stalls %d/%d/%d differ from workers=1 %d/%d/%d",
+				workers, st.TminHops, st.WindowsSkipped, st.Stalls,
+				refStats.TminHops, refStats.WindowsSkipped, refStats.Stalls)
+		}
 		for sh := range st.Events {
 			if st.Events[sh] != refStats.Events[sh] {
 				t.Errorf("workers=%d: shard %d executed %d events, workers=1 executed %d",
@@ -187,6 +202,209 @@ func TestShardSetWorkerCountIndependence(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestShardSetMarchModeMatchesSerial is the skip-ahead-off differential:
+// with SetSkipAhead(false) the set must march uniform [Tmin, Tmin+λ)
+// windows exactly as PR 6 did, still byte-identical to serial, and every
+// hop must dispatch the fleet (Windows == TminHops, nothing skipped).
+func TestShardSetMarchModeMatchesSerial(t *testing.T) {
+	const nodes, hops = 8, 24
+	want, _ := runCascadeSerial(t, nodes, hops)
+	for _, shards := range []int{2, 4, 8} {
+		for _, workers := range []int{1, 2} {
+			label := fmt.Sprintf("shards=%d/workers=%d", shards, workers)
+			got, s := runCascadeShardedOpts(t, nodes, hops, shards, workers,
+				func(s *ShardSet) { s.SetSkipAhead(false) })
+			diffCascadeLogs(t, label, want, got)
+			st := s.Stats()
+			if st.Windows != st.TminHops || st.WindowsSkipped != 0 {
+				t.Errorf("%s: march mode windows=%d tminhops=%d skipped=%d, want every hop dispatched",
+					label, st.Windows, st.TminHops, st.WindowsSkipped)
+			}
+		}
+	}
+}
+
+// TestShardSetSkipAheadGuard is the Hunold-style performance-guideline
+// check: the optimized mode must never do worse than the reference mode
+// it replaces. Deterministically, skip-ahead must take no more
+// synchronization hops than the λ-march takes windows (each skip hop
+// advances every shard at least one λ, so hop counts can only shrink);
+// on the wall clock, skip-ahead must not be slower than march beyond a
+// generous scheduling-noise bound.
+func TestShardSetSkipAheadGuard(t *testing.T) {
+	for _, tc := range []struct{ nodes, hops, shards int }{
+		{8, 24, 2},
+		{8, 24, 4},
+		{6, 16, 3},
+		{12, 30, 4},
+	} {
+		label := fmt.Sprintf("nodes=%d/hops=%d/shards=%d", tc.nodes, tc.hops, tc.shards)
+		marchStart := time.Now()
+		_, march := runCascadeShardedOpts(t, tc.nodes, tc.hops, tc.shards, 0,
+			func(s *ShardSet) { s.SetSkipAhead(false) })
+		marchDur := time.Since(marchStart)
+		skipStart := time.Now()
+		_, skip := runCascadeShardedOpts(t, tc.nodes, tc.hops, tc.shards, 0, nil)
+		skipDur := time.Since(skipStart)
+
+		marchStats, skipStats := march.Stats(), skip.Stats()
+		if skipStats.TminHops > marchStats.TminHops {
+			t.Errorf("%s: skip-ahead took %d hops, march took %d — batching made synchronization worse",
+				label, skipStats.TminHops, marchStats.TminHops)
+		}
+		// Wall-clock guard with a wide bound: the point is catching a
+		// pathological slowdown (e.g. the skip path spinning), not
+		// micro-benchmarking inside go test.
+		if bound := 3*marchDur + 100*time.Millisecond; skipDur > bound {
+			t.Errorf("%s: skip-ahead ran %v, march ran %v — beyond the %v guard bound",
+				label, skipDur, marchDur, bound)
+		}
+	}
+}
+
+// TestShardSetUniformMatrixMatchesScalar: a lookahead matrix whose every
+// entry equals the global floor must behave exactly like the scalar
+// configuration — identical timelines and identical hop accounting.
+func TestShardSetUniformMatrixMatchesScalar(t *testing.T) {
+	const nodes, hops = 8, 24
+	want, _ := runCascadeSerial(t, nodes, hops)
+	for _, shards := range []int{2, 4, 8} {
+		label := fmt.Sprintf("shards=%d", shards)
+		_, scalar := runCascadeSharded(t, nodes, hops, shards, 0)
+		uniform := make([][]time.Duration, shards)
+		for i := range uniform {
+			uniform[i] = make([]time.Duration, shards)
+			for j := range uniform[i] {
+				uniform[i][j] = cascadeLambda
+			}
+		}
+		got, matrix := runCascadeShardedOpts(t, nodes, hops, shards, 0,
+			func(s *ShardSet) { s.SetLookaheadMatrix(uniform) })
+		diffCascadeLogs(t, label, want, got)
+		ss, ms := scalar.Stats(), matrix.Stats()
+		if ss.Windows != ms.Windows || ss.TminHops != ms.TminHops || ss.CrossPosts != ms.CrossPosts {
+			t.Errorf("%s: uniform matrix windows/hops/crossposts %d/%d/%d differ from scalar %d/%d/%d",
+				label, ms.Windows, ms.TminHops, ms.CrossPosts, ss.Windows, ss.TminHops, ss.CrossPosts)
+		}
+	}
+}
+
+// TestShardSetNonUniformMatrixMatchesSerial drives the cascade with an
+// honest non-uniform matrix. With node i on shard i%4 of 8 nodes, shard s
+// posts to shard (s+1)%4 exactly λ out, to (s+2)%4 exactly 2λ out, and to
+// (s+3)%4 900µs out, so λ[s][s+1]=λ, λ[s][s+2]=2λ, λ[s][s+3]=10λ are all
+// true per-pair bounds (the closure relays s→s+1→s+3 at 3λ ≤ 900µs).
+// Results must stay byte-identical to serial at every worker count, with
+// worker-independent stats, and the widened windows must take no more
+// hops than the scalar floor does.
+func TestShardSetNonUniformMatrixMatchesSerial(t *testing.T) {
+	const nodes, hops, shards = 8, 24, 4
+	want, _ := runCascadeSerial(t, nodes, hops)
+	m := make([][]time.Duration, shards)
+	for s := range m {
+		m[s] = make([]time.Duration, shards)
+		m[s][s] = cascadeLambda
+		m[s][(s+1)%shards] = cascadeLambda
+		m[s][(s+2)%shards] = 2 * cascadeLambda
+		m[s][(s+3)%shards] = 10 * cascadeLambda
+	}
+	_, scalar := runCascadeSharded(t, nodes, hops, shards, 0)
+	var refStats ShardStats
+	for i, workers := range []int{1, 2, 4} {
+		label := fmt.Sprintf("workers=%d", workers)
+		got, s := runCascadeShardedOpts(t, nodes, hops, shards, workers,
+			func(s *ShardSet) { s.SetLookaheadMatrix(m) })
+		diffCascadeLogs(t, label, want, got)
+		st := s.Stats()
+		if i == 0 {
+			refStats = st
+			if sc := scalar.Stats(); st.TminHops > sc.TminHops {
+				t.Errorf("non-uniform matrix took %d hops, scalar floor took %d — widening windows must not add hops",
+					st.TminHops, sc.TminHops)
+			}
+			continue
+		}
+		if st.Windows != refStats.Windows || st.TminHops != refStats.TminHops || st.CrossPosts != refStats.CrossPosts {
+			t.Errorf("%s: windows/hops/crossposts %d/%d/%d differ from workers=1 %d/%d/%d",
+				label, st.Windows, st.TminHops, st.CrossPosts,
+				refStats.Windows, refStats.TminHops, refStats.CrossPosts)
+		}
+	}
+}
+
+// TestShardSetMatrixValidationPanics pins the matrix setter contract:
+// square NxN shape and no entry below the global floor.
+func TestShardSetMatrixValidationPanics(t *testing.T) {
+	lam := cascadeLambda
+	for _, tc := range []struct {
+		name string
+		m    [][]time.Duration
+	}{
+		{"wrong-rows", [][]time.Duration{{lam, lam}}},
+		{"wrong-cols", [][]time.Duration{{lam}, {lam}}},
+		{"below-floor", [][]time.Duration{{lam, lam / 2}, {lam, lam}}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewShardSet(2, lam)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetLookaheadMatrix(%v) did not panic", tc.m)
+				}
+			}()
+			s.SetLookaheadMatrix(tc.m)
+		})
+	}
+}
+
+// TestShardSetPairWindowEdge is the per-pair regression for the
+// lookahead-violation assert: with λ[0][1] widened to 2λ, the destination
+// window extends to seed+2λ, so a post one floor-λ out — legal under the
+// scalar floor — now lands inside the open window and must panic loudly,
+// while a post exactly at the widened edge stays legal and is delivered.
+func TestShardSetPairWindowEdge(t *testing.T) {
+	wide := [][]time.Duration{
+		{cascadeLambda, 2 * cascadeLambda},
+		{2 * cascadeLambda, cascadeLambda},
+	}
+	t.Run("inside-pair-window-panics", func(t *testing.T) {
+		s := NewShardSet(2, cascadeLambda)
+		s.SetLookaheadMatrix(wide)
+		e0, e1 := s.Engine(0), s.Engine(1)
+		e0.AtCall(Time(1000), func(now Time, _ any) {
+			// now+λ clears the scalar floor but sits inside shard 1's
+			// widened [seed, seed+2λ) window: exactly the violation the
+			// per-pair assert must catch.
+			e0.Post(e1, now.Add(cascadeLambda), func(Time, any) {}, nil)
+		}, nil)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("post inside the per-pair window did not panic")
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "violates lookahead") {
+				t.Fatalf("panic %q does not name the lookahead violation", msg)
+			}
+		}()
+		_ = s.Run(1)
+	})
+	t.Run("at-pair-edge-delivers", func(t *testing.T) {
+		s := NewShardSet(2, cascadeLambda)
+		s.SetLookaheadMatrix(wide)
+		e0, e1 := s.Engine(0), s.Engine(1)
+		delivered := false
+		e0.AtCall(Time(1000), func(now Time, _ any) {
+			e0.Post(e1, now.Add(2*cascadeLambda), func(Time, any) { delivered = true }, nil)
+		}, nil)
+		if err := s.Run(1); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if !delivered {
+			t.Fatalf("post exactly at the per-pair window edge was not delivered")
+		}
+	})
 }
 
 // TestShardSetLookaheadViolationPanics pins the soundness assert: a

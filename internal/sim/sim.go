@@ -137,6 +137,12 @@ type Engine struct {
 	// engines. shardID is the engine's index within the set.
 	shard   *ShardSet
 	shardID int
+	// winEnd is the exclusive upper bound of the shard window the engine is
+	// currently executing (runWindow). It is written by the worker that
+	// claimed the shard before the window starts and may be pulled earlier
+	// by the engine's own cross-shard posts (the dynamic self-cap in
+	// ShardSet.post), so it is only ever touched from the owning worker.
+	winEnd Time
 
 	// Tier 0: same-instant dispatch ring (all entries have at == now).
 	ringH *event
@@ -649,27 +655,39 @@ func (e *Engine) Post(dst *Engine, at Time, fire func(Time, any), arg any) {
 	e.shard.post(e.shardID, dst.shardID, at, fire, arg)
 }
 
-// runWindow executes events with timestamps strictly below end, leaving
-// the clock at the last fired event (not forced to end: a shard with no
-// event this window must keep now ≤ its next event so nothing schedules
-// into the past). It is the per-shard body of one ShardSet window and
-// runs on whichever worker claimed the shard — exclusively, so no
-// engine state needs synchronization.
+// runWindow executes events with timestamps strictly below the engine's
+// winEnd bound, leaving the clock at the last fired event (not forced to
+// the bound: a shard with no event this window must keep now ≤ its next
+// event so nothing schedules into the past). It is the per-shard body of
+// one ShardSet hop and runs on whichever worker claimed the shard —
+// exclusively, so no engine state needs synchronization. winEnd is a
+// field rather than a parameter because the shard runtime's dynamic
+// self-cap (ShardSet.post) may pull the bound earlier mid-window when
+// this engine's own events emit cross-shard posts.
+//
+// The return value is the timestamp of the earliest still-pending event
+// (false when the queue is empty): the calendar queue has already located
+// it to decide the window is over, so the shard barrier gets every
+// engine's next-event time for free instead of re-scanning the queue.
 //partib:hotpath
-func (e *Engine) runWindow(end Time) {
+func (e *Engine) runWindow() (Time, bool) {
 	for e.err == nil {
 		ev, slot := e.next()
-		if ev == nil || ev.at >= end {
-			return
+		if ev == nil {
+			return 0, false
+		}
+		if ev.at >= e.winEnd {
+			return ev.at, true
 		}
 		e.take(ev, slot)
 		e.fireEvent(ev)
 	}
+	return 0, false
 }
 
 // nextAt reports the timestamp of the earliest live event without
-// dispatching it. The shard coordinator uses it between windows to find
-// the global minimum next-event time.
+// dispatching it. The shard runtime uses it when (re)building window
+// bounds outside the runWindow fast path.
 func (e *Engine) nextAt() (Time, bool) {
 	ev, _ := e.next()
 	if ev == nil {

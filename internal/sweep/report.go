@@ -272,11 +272,20 @@ type PdesShardRun struct {
 	// byte-identical to the serial pass (trivially true for the serial
 	// pass itself).
 	Identical bool `json:"identical_to_serial"`
-	// Windows is the number of synchronization windows executed and
-	// WindowSyncStalls the windows in which at least one shard fired no
-	// event (pure barrier overhead for that shard).
-	Windows          uint64 `json:"windows,omitempty"`
-	WindowSyncStalls uint64 `json:"window_sync_stalls,omitempty"`
+	// Windows is the number of fleet dispatch episodes (in λ-march mode
+	// every synchronization hop is its own window, so the two counters
+	// coincide); TminHops counts every barrier-to-barrier synchronization
+	// hop including inline solo hops, and WindowsSkipped is the
+	// difference — hops that reused the hot fleet or ran inline instead
+	// of costing a park/wake dispatch round. WindowSyncStalls counts hops
+	// in which a shard with reachable work fired no event (pure barrier
+	// overhead for that shard), and AvgWindowOccupancy is the mean number
+	// of events executed per hop.
+	Windows            uint64  `json:"windows,omitempty"`
+	TminHops           uint64  `json:"tmin_hops,omitempty"`
+	WindowsSkipped     uint64  `json:"windows_skipped,omitempty"`
+	AvgWindowOccupancy float64 `json:"avg_window_occupancy,omitempty"`
+	WindowSyncStalls   uint64  `json:"window_sync_stalls,omitempty"`
 	// CrossShardPosts counts events exchanged through mailboxes.
 	CrossShardPosts uint64 `json:"cross_shard_posts,omitempty"`
 	// PerShardEvents is the executed-event count per shard — the load

@@ -188,6 +188,12 @@ type Transport struct {
 
 	eps map[int]*endpoint
 
+	// Channel-scoped control kinds, concatenated once at construction:
+	// protocol sends are per-message hot-path work and must not rebuild
+	// the kind string every time.
+	kindConnect, kindAccept, kindRTS, kindCTS string
+	kindFIN, kindCredit, kindRelease          string
+
 	// protoFreeAt serializes receiver-side rendezvous protocol handling
 	// (the progress engine handles one protocol message at a time).
 	protoFreeAt sim.Time
@@ -351,18 +357,22 @@ func NewWithConfig(h xport.Host, pv xport.Provider, cfg Config) (*Transport, err
 		return nil, err
 	}
 	t := &Transport{host: h, pv: pv, cfg: cfg.withDefaults(), eps: make(map[int]*endpoint)}
-	h.HandleCtrl(t.kind(kindConnect), t.onConnect)
-	h.HandleCtrl(t.kind(kindAccept), t.onAccept)
-	h.HandleCtrl(t.kind(kindRTS), t.onRTS)
-	h.HandleCtrl(t.kind(kindCTS), t.onCTS)
-	h.HandleCtrl(t.kind(kindFIN), t.onFIN)
-	h.HandleCtrl(t.kind(kindCredit), t.onCredit)
-	h.HandleCtrl(t.kind(kindRelease), t.onRelease)
+	t.kindConnect = t.cfg.Channel + kindConnect
+	t.kindAccept = t.cfg.Channel + kindAccept
+	t.kindRTS = t.cfg.Channel + kindRTS
+	t.kindCTS = t.cfg.Channel + kindCTS
+	t.kindFIN = t.cfg.Channel + kindFIN
+	t.kindCredit = t.cfg.Channel + kindCredit
+	t.kindRelease = t.cfg.Channel + kindRelease
+	h.HandleCtrl(t.kindConnect, t.onConnect)
+	h.HandleCtrl(t.kindAccept, t.onAccept)
+	h.HandleCtrl(t.kindRTS, t.onRTS)
+	h.HandleCtrl(t.kindCTS, t.onCTS)
+	h.HandleCtrl(t.kindFIN, t.onFIN)
+	h.HandleCtrl(t.kindCredit, t.onCredit)
+	h.HandleCtrl(t.kindRelease, t.onRelease)
 	return t, nil
 }
-
-// kind returns a channel-scoped control kind.
-func (t *Transport) kind(suffix string) string { return t.cfg.Channel + suffix }
 
 // Host returns the owning rank's host environment.
 func (t *Transport) Host() xport.Host { return t.host }
@@ -404,7 +414,7 @@ func (t *Transport) endpointFor(dst int) *endpoint {
 	ep := t.newEndpoint(dst)
 	t.eps[dst] = ep
 	// Wireup: offer our descriptors; the peer accepts with its own.
-	t.host.SendCtrl(dst, t.kind(kindConnect), connectMsg{descs: descsOf(ep.rails)})
+	t.host.SendCtrl(dst, t.kindConnect, connectMsg{descs: descsOf(ep.rails)})
 	return ep
 }
 
@@ -519,7 +529,7 @@ func (t *Transport) onConnect(from int, data any) {
 		t.eps[from] = ep
 	}
 	t.finishWireup(ep, msg.descs)
-	t.host.SendCtrl(from, t.kind(kindAccept), connectMsg{descs: descsOf(ep.rails)})
+	t.host.SendCtrl(from, t.kindAccept, connectMsg{descs: descsOf(ep.rails)})
 }
 
 // onAccept is the active side's completion of wireup.
@@ -697,7 +707,7 @@ func (t *Transport) sendRndv(p *sim.Proc, ep *endpoint, header uint64, mem xport
 	ep.nextSeq++
 	seq := ep.nextSeq
 	ep.rndv[seq] = &rndvOp{header: header, mem: mem, off: off, length: length}
-	t.host.SendCtrl(ep.dst, t.kind(kindRTS), rtsMsg{
+	t.host.SendCtrl(ep.dst, t.kindRTS, rtsMsg{
 		header: header,
 		size:   length,
 		seq:    seq,
@@ -743,7 +753,7 @@ func (t *Transport) onRTS(from int, data any) {
 	}
 	cts := ctsMsg{seq: msg.seq, raddr: mem.Addr() + uint64(off), rkey: mem.RKey()}
 	t.afterProtoCost(func() {
-		t.host.SendCtrl(from, t.kind(kindCTS), cts)
+		t.host.SendCtrl(from, t.kindCTS, cts)
 	})
 }
 
@@ -844,7 +854,7 @@ func (t *Transport) onWC(p *sim.Proc, ep *endpoint, c xport.Completion) {
 		}
 		delete(ep.readOps, c.WRID)
 		p.Sleep(t.cfg.RndvRecvOverhead) //partlint:allow callbackblock virtual-time charge in the cost model, not a park
-		t.host.SendCtrl(ep.dst, t.kind(kindRelease), releaseMsg{seq: op.seq})
+		t.host.SendCtrl(ep.dst, t.kindRelease, releaseMsg{seq: op.seq})
 		if t.rndvDone == nil {
 			panic("ucx: rendezvous-get completion with no handler installed")
 		}
@@ -852,7 +862,7 @@ func (t *Transport) onWC(p *sim.Proc, ep *endpoint, c xport.Completion) {
 	case xport.CompSend, xport.CompWrite:
 		if fin, ok := ep.finPending[c.WRID]; ok {
 			delete(ep.finPending, c.WRID)
-			t.host.SendCtrl(ep.dst, t.kind(kindFIN), fin)
+			t.host.SendCtrl(ep.dst, t.kindFIN, fin)
 		}
 		if slot, ok := ep.slotOf[c.WRID]; ok {
 			delete(ep.slotOf, c.WRID)
@@ -887,7 +897,7 @@ func (t *Transport) onWC(p *sim.Proc, ep *endpoint, c xport.Completion) {
 			threshold = 1
 		}
 		if ep.processed[rail] >= threshold {
-			t.host.SendCtrl(ep.dst, t.kind(kindCredit), creditMsg{rail: rail, n: ep.processed[rail]})
+			t.host.SendCtrl(ep.dst, t.kindCredit, creditMsg{rail: rail, n: ep.processed[rail]})
 			ep.processed[rail] = 0
 		}
 	default:
