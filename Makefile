@@ -5,7 +5,13 @@
 
 GO ?= go
 
-.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare bench-pdes bench-pdes-smoke
+# CORE_HASH fingerprints the internal/core sources. The bench-recording
+# targets stamp it into their BENCH_*.json records; bench-compare warns
+# when the committed record's hash no longer matches the tree, i.e. the
+# baseline predates a core change and should be re-recorded.
+CORE_HASH := $(shell cat internal/core/*.go | sha256sum | cut -c1-16)
+
+.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare bench-pdes bench-pdes-smoke bench-adaptive bench-adaptive-smoke
 
 check: vet lint build test race conformance
 
@@ -60,15 +66,16 @@ bench:
 
 # Regenerate BENCH_hotpath.json: fixed single-engine hot-path workload.
 bench-hotpath:
-	$(GO) run ./cmd/partbench -hotpathjson BENCH_hotpath.json
+	$(GO) run ./cmd/partbench -hotpathjson BENCH_hotpath.json -corehash $(CORE_HASH)
 
 # Run the hotpath benchmark against a scratch copy of the committed
 # BENCH_hotpath.json: partbench prints the events/sec and allocs/event
 # delta versus the copied record before overwriting it, so the committed
-# file itself is left untouched. Use bench-hotpath to actually re-record.
+# file itself is left untouched — and warns when the record's core hash
+# no longer matches the tree. Use bench-hotpath to actually re-record.
 bench-compare:
 	@tmp=$$(mktemp); cp BENCH_hotpath.json $$tmp; \
-	$(GO) run ./cmd/partbench -hotpathjson $$tmp; \
+	$(GO) run ./cmd/partbench -hotpathjson $$tmp -corehash $(CORE_HASH); \
 	rm -f $$tmp
 
 # Regenerate BENCH_pdes.json: the conservative-PDES scaling workload
@@ -87,4 +94,19 @@ bench-pdes-smoke:
 # Regenerate BENCH_parallel.json: serial-vs-parallel tuning sweep report.
 bench-parallel:
 	$(GO) run ./cmd/tuningsearch -parts 4,16,32 -min 4096 -max 4194304 \
-		-benchjson BENCH_parallel.json -o /dev/null
+		-benchjson BENCH_parallel.json -corehash $(CORE_HASH) -o /dev/null
+
+# Regenerate BENCH_adaptive.json: the adaptive-vs-static evaluation grid
+# (every arrival pattern × message size under each design), with the
+# never-worse guard enforced — the run fails if the adaptive strategy
+# trails the best static design by more than the bound anywhere, or does
+# not beat the worst static design on the skewed patterns.
+bench-adaptive:
+	$(GO) run ./cmd/partbench -adaptivejson BENCH_adaptive.json \
+		-adaptiveguard -corehash $(CORE_HASH)
+
+# CI smoke variant: single size, fewer iterations, same guard; exits
+# nonzero on any guard violation so a regression in the adaptive
+# switcher is caught on every PR.
+bench-adaptive-smoke:
+	$(GO) run ./cmd/partbench -adaptivejson /dev/null -quick -adaptiveguard

@@ -13,6 +13,9 @@
 //	partbench -experiment fig8 -shards 4        # run sharded (same output)
 //	partbench -pdesjson BENCH_pdes.json         # PDES scaling bench, 1024 ranks
 //	partbench -pdesjson /dev/null -quick        # small smoke workload, 2 shards
+//	partbench -adaptivejson BENCH_adaptive.json # adaptive-vs-static arrival grid
+//	partbench -adaptivejson /dev/null -quick -adaptiveguard  # never-worse smoke gate
+//	partbench -strategy adaptive -pattern straggler          # one probe, telemetry printed
 //
 // Each experiment prints the rows/series of the corresponding figure or
 // table of "A Dynamic Network-Native MPI Partitioned Aggregation Over
@@ -43,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/xport"
 )
 
@@ -58,6 +62,11 @@ func main() {
 	hotpathJSON := flag.String("hotpathjson", "", "run the fixed single-engine hot-path workload and write its report to this file")
 	pdesJSON := flag.String("pdesjson", "", "run the conservative-PDES scaling workload and write its report to this file")
 	windowCeiling := flag.Uint64("windowceiling", 0, "with -pdesjson: fail if any sharded run executes more dispatch windows than this (0 = no gate)")
+	adaptiveJSON := flag.String("adaptivejson", "", "run the adaptive-vs-static arrival-pattern grid and write its report to this file")
+	adaptiveGuard := flag.Bool("adaptiveguard", false, "with -adaptivejson: exit nonzero if the never-worse guard fails at any grid point")
+	strategy := flag.String("strategy", "", "run one point-to-point probe under this strategy (baseline, tuning-table, ploggp, timer-ploggp, adaptive) and print its result")
+	pattern := flag.String("pattern", "straggler", "with -strategy: synthetic Pready arrival pattern (uniform, bursty, zipf, straggler)")
+	coreHash := flag.String("corehash", "", "fingerprint of internal/core sources to stamp into JSON reports (set by make)")
 	shards := flag.Int("shards", 0, "conservative-PDES shard count per simulation (0 or 1 = serial; output is identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -106,7 +115,7 @@ func main() {
 	}
 
 	if *hotpathJSON != "" {
-		if err := runHotpath(*hotpathJSON); err != nil {
+		if err := runHotpath(*hotpathJSON, *coreHash); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: hotpath: %v\n", err)
 			os.Exit(1)
 		}
@@ -116,6 +125,22 @@ func main() {
 	if *pdesJSON != "" {
 		if err := runPdes(*pdesJSON, *quick, *windowCeiling); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: pdes: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *adaptiveJSON != "" {
+		if err := runAdaptive(*adaptiveJSON, *quick, *adaptiveGuard, *coreHash, *provider, *jobs); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: adaptive: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *strategy != "" {
+		if err := runProbe(*strategy, *pattern, *provider, *shards, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: probe: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -189,6 +214,7 @@ func main() {
 		if report.Provider == "" {
 			report.Provider = "verbs"
 		}
+		report.CoreHash = *coreHash
 		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: %v\n", err)
 			os.Exit(1)
@@ -260,7 +286,7 @@ const (
 // (per-event software overhead, the quantity the hot path optimizes)
 // rather than dominated by payload memmove; the workload is fixed so
 // events/sec and allocs/event are comparable PR over PR.
-func runHotpath(path string) error {
+func runHotpath(path, coreHash string) error {
 	const workload = "p2p parts=32 sizes=16KiB,64KiB,256KiB strategies=baseline,ploggp,timer iters=200 serial"
 	sizes := []int{16 << 10, 64 << 10, 256 << 10}
 	strategies := []core.Options{
@@ -280,15 +306,29 @@ func runHotpath(path string) error {
 	sec, events, allocs := m.Stop()
 	report := sweep.NewHotpathReport("partbench", workload, sec, events, allocs, m.SchedDelta(),
 		hotpathBaselineEventsPerSec, hotpathBaselineAllocsPerEvent)
+	report.CoreHash = coreHash
 	// Print the delta against the record about to be overwritten (make
 	// bench-compare points path at a scratch copy of the committed file
-	// to get the comparison without clobbering it).
+	// to get the comparison without clobbering it), and flag a stale
+	// baseline: a record produced against different internal/core sources
+	// is not comparable point for point.
 	if prev, err := sweep.ReadHotpathFile(path); err == nil && prev.EventsPerSec > 0 {
 		fmt.Fprintf(os.Stderr,
 			"partbench: hotpath delta vs %s [%s]: events/sec %+.1f%% (%.0f -> %.0f), allocs/event %+.4f (%.4f -> %.4f)\n",
 			path, prev.Scheduler,
 			100*(report.EventsPerSec/prev.EventsPerSec-1), prev.EventsPerSec, report.EventsPerSec,
 			report.AllocsPerEvent-prev.AllocsPerEvent, prev.AllocsPerEvent, report.AllocsPerEvent)
+		if coreHash != "" {
+			switch {
+			case prev.CoreHash == "":
+				fmt.Fprintln(os.Stderr,
+					"partbench: warning: recorded baseline has no core hash (predates staleness tracking); re-record with make bench-hotpath")
+			case prev.CoreHash != coreHash:
+				fmt.Fprintf(os.Stderr,
+					"partbench: warning: recorded baseline is stale — internal/core changed since it was recorded (hash %s, tree is %s); re-record with make bench-hotpath\n",
+					prev.CoreHash, coreHash)
+			}
+		}
 	}
 	if err := sweep.WriteHotpathFile(path, report); err != nil {
 		return err
@@ -402,6 +442,103 @@ func runPdes(path string, quick bool, windowCeiling uint64) error {
 		serialSec, report.Runs[0].EventsPerSec, path)
 	if report.Warning != "" {
 		fmt.Fprintf(os.Stderr, "partbench: warning: %s\n", report.Warning)
+	}
+	return nil
+}
+
+// runAdaptive measures the adaptive-vs-static grid — every (arrival
+// pattern × message size) point under each static design and under
+// StrategyAdaptive — and writes BENCH_adaptive.json. -quick shrinks the
+// grid to one size per pattern (the same shape `make bench-adaptive-smoke`
+// and the guard tests use); guard=true turns any never-worse violation
+// into a nonzero exit.
+func runAdaptive(path string, quick, guard bool, coreHash, provider string, jobs int) error {
+	cfg := bench.AdaptiveGridConfig{Provider: provider, Jobs: jobs}
+	workload := "p2p parts=16 sizes=64KiB,256KiB,1MiB patterns=uniform,bursty,zipf,straggler designs=baseline,ploggp,timer,adaptive"
+	if quick {
+		cfg.Sizes = []int{256 << 10}
+		cfg.Iters = 16
+		workload = "p2p parts=16 sizes=256KiB patterns=uniform,bursty,zipf,straggler designs=baseline,ploggp,timer,adaptive (quick)"
+	}
+	points, err := bench.RunAdaptiveGrid(cfg)
+	if err != nil {
+		return err
+	}
+	report := bench.NewAdaptiveReport("partbench", workload, coreHash, bench.AdaptiveGuardBound, points)
+	if err := bench.WriteAdaptiveFile(path, report); err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Fprintf(os.Stderr,
+			"partbench: adaptive %-10s %9dB  base=%dns ploggp=%dns timer=%dns adaptive=%dns best=%s switches=%d final=%s/t%d\n",
+			p.Pattern, p.Bytes, p.BaselineNs, p.PLogGPNs, p.TimerNs, p.AdaptiveNs,
+			p.BestStatic, p.Switches, p.FinalMode, p.FinalTransport)
+	}
+	if len(report.Violations) > 0 {
+		for _, v := range report.Violations {
+			fmt.Fprintf(os.Stderr, "partbench: adaptive guard violation: %s\n", v)
+		}
+		if guard {
+			return fmt.Errorf("never-worse guard (x%.2f) failed at %d grid point(s)",
+				report.GuardBound, len(report.Violations))
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "partbench: adaptive guard holds (x%.2f bound) on all %d points; report written to %s\n",
+			report.GuardBound, len(points), path)
+	}
+	return nil
+}
+
+// runProbe runs one point-to-point partitioned benchmark under the named
+// strategy and arrival pattern and prints its mean round latency plus —
+// for the adaptive strategy — the decision telemetry. A quick way to watch
+// the switcher act without running a whole experiment grid.
+func runProbe(strategy, pattern, provider string, shards int, quick bool) error {
+	strat, err := core.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	kind, err := trace.ParsePatternKind(pattern)
+	if err != nil {
+		return err
+	}
+	cfg := bench.P2PConfig{
+		Parts:    16,
+		Bytes:    256 << 10,
+		Compute:  20 * time.Microsecond,
+		Warmup:   16,
+		Iters:    32,
+		Opts:     core.Options{Strategy: strat},
+		Provider: provider,
+		Shards:   shards,
+		Arrival: &trace.ArrivalPattern{
+			Kind:   kind,
+			Seed:   1,
+			Spread: 500 * time.Microsecond,
+		},
+	}
+	if strat == core.StrategyTuningTable {
+		return fmt.Errorf("tuning-table probe needs a table; use cmd/tuningsearch and the experiments instead")
+	}
+	if quick {
+		cfg.Warmup, cfg.Iters = 8, 8
+	}
+	res, err := bench.RunP2P(cfg)
+	if err != nil {
+		return err
+	}
+	rounds := int64(cfg.Warmup + cfg.Iters)
+	fmt.Printf("strategy=%s pattern=%s parts=%d bytes=%d\n", strat, kind, cfg.Parts, cfg.Bytes)
+	fmt.Printf("mean round latency: %v\n", res.MeanIterTime())
+	fmt.Printf("fabric messages/round: %d\n", res.FabricMessages/rounds)
+	if s := res.Adaptive; s != nil {
+		fmt.Printf("adaptive: rounds=%d arrivals=%d switches=%d final=%s/t%d delta=%v regret=%dns\n",
+			s.Rounds, s.RecordedArrivals, len(s.Switches)-1, s.Mode, s.Transport,
+			time.Duration(s.Delta), s.RegretNs)
+		for _, sw := range s.Switches {
+			fmt.Printf("  round %3d -> %s/t%d delta=%v predicted=%v\n",
+				sw.Round, sw.Mode, sw.Transport, time.Duration(sw.Delta), time.Duration(sw.Predicted))
+		}
 	}
 	return nil
 }

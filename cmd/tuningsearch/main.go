@@ -40,6 +40,7 @@ func main() {
 	iters := flag.Int("iters", 10, "measured iterations per candidate")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "also time a serial pass and write a serial-vs-parallel report to this file")
+	coreHash := flag.String("corehash", "", "fingerprint of internal/core sources to stamp into the -benchjson report (set by make)")
 	out := flag.String("o", "", "output file (default stdout)")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
@@ -118,6 +119,7 @@ func main() {
 			report = sweep.NewReport("tuningsearch", cfg.Workers,
 				serialSec, parSec, parEvents, parAllocs, parallelOut == serialOut)
 		}
+		report.CoreHash = *coreHash
 		if err := sweep.WriteReportFile(*benchJSON, report); err != nil {
 			fmt.Fprintf(os.Stderr, "tuningsearch: %v\n", err)
 			os.Exit(1)

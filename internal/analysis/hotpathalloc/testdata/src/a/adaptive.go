@@ -1,0 +1,43 @@
+// Adaptive-observer fixture shapes: the per-event arrival recording path
+// must store into preallocated rings, never grow or box on the hot path.
+package a
+
+type arrivalRing struct {
+	samples []int64 // preallocated at construction, len == cap
+	n       int
+	batch   []int64 // reused batch buffer, grown only while amortized
+	sink    any
+}
+
+//partib:hotpath
+func (r *arrivalRing) record(deltaNs int64) {
+	// Sanctioned: overwrite a slot in the preallocated ring.
+	r.samples[r.n%len(r.samples)] = deltaNs
+	r.n++
+}
+
+//partib:hotpath
+func (r *arrivalRing) recordGrowing(deltaNs int64) {
+	r.samples = append(r.samples, deltaNs) // want "calls append"
+	hist := make([]int64, 64)              // want "calls make"
+	_ = hist
+}
+
+//partib:hotpath
+func (r *arrivalRing) recordBoxed(deltaNs int64) {
+	r.sink = deltaNs // want "boxes a value into an interface"
+}
+
+//partib:hotpath
+func (r *arrivalRing) enqueue(deltaNs int64) {
+	// Waived: the batch buffer is drained and reused each round, so the
+	// append is amortized zero-allocation in steady state.
+	r.batch = append(r.batch, deltaNs) //partlint:allow hotpathalloc amortized; batch buffer is reused
+}
+
+// snapshot runs at round boundaries, off the hot path: allocation is fine.
+func (r *arrivalRing) snapshot() []int64 {
+	out := make([]int64, len(r.samples))
+	copy(out, r.samples)
+	return out
+}

@@ -51,6 +51,9 @@ var simReachable = map[string]bool{
 	"repro/internal/loggp":  true,
 	"repro/internal/sweep":  true,
 	"repro/internal/bench":  true,
+	// trace generates synthetic arrival schedules consumed inside the
+	// simulation; its output must replay from the seed alone.
+	"repro/internal/trace": true,
 }
 
 // typedError lists the packages under the typed-error contract

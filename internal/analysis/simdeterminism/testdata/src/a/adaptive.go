@@ -1,0 +1,39 @@
+// Adaptive-switcher fixture shapes: strategy re-selection at round
+// boundaries must be a pure function of recorded arrivals — no wall
+// clock, no map-order candidate iteration.
+package a
+
+import (
+	"sort"
+	"time"
+)
+
+type design struct{ score int64 }
+
+func switchByClock(deadline time.Time) bool {
+	return time.Now().After(deadline) // want "time.Now in a sim-reachable package"
+}
+
+func pickFromMap(candidates map[string]design, apply func(string)) {
+	for name := range candidates {
+		apply(name) // want "call to apply while ranging over a map"
+	}
+}
+
+// pickOrdered is the sanctioned shape: collect candidate names, sort,
+// then score in a deterministic order.
+func pickOrdered(candidates map[string]design, apply func(string)) {
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		apply(name)
+	}
+}
+
+// delta math on simulated time is fine: no clock read.
+func laggardTail(arrivals []time.Duration, q int) time.Duration {
+	return arrivals[q*len(arrivals)/100]
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/profiler"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // jitterPRNG is a seeded splitmix64 generator. The per-thread skew draws
@@ -70,6 +71,12 @@ type P2PConfig struct {
 	// Laggard selects the delayed thread; -1 (and the zero value via
 	// DefaultLaggard) selects the last thread.
 	Laggard int
+	// Arrival, if non-nil, adds a synthetic per-round, per-thread Pready
+	// delay schedule (uniform/bursty/zipf/straggler) on top of Compute —
+	// the arrival regimes the adaptive aggregator is evaluated against.
+	// The run draws from its own pattern instance, so the caller's value
+	// is never mutated and schedules replay exactly.
+	Arrival *trace.ArrivalPattern
 	// Warmup and Iters follow the paper: 10 warm-up, 100 measured for
 	// point-to-point (zero values select those).
 	Warmup int
@@ -133,6 +140,9 @@ type P2PResult struct {
 	// FabricMessages is the sender port's total message count (wire
 	// efficiency).
 	FabricMessages int64
+	// Adaptive is the sender's decision telemetry when the run used
+	// StrategyAdaptive; nil otherwise.
+	Adaptive *core.AdaptiveStats
 }
 
 // MeanIterTime returns the mean round time.
@@ -217,6 +227,7 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 	starts := make([]sim.Time, cfg.Iters)
 	preadys := make([]sim.Time, cfg.Iters)
 	dones := make([]sim.Time, cfg.Iters)
+	var adaptive *core.AdaptiveStats
 
 	sendBuf := make([]byte, cfg.Bytes)
 	recvBuf := make([]byte, cfg.Bytes)
@@ -235,6 +246,12 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 			// the benchmark's allocation profile.
 			g := sim.NewGroup(p.Engine())
 			jitters := make([]time.Duration, cfg.Parts)
+			var arrivalPat *trace.ArrivalPattern
+			var arrivals []time.Duration
+			if cfg.Arrival != nil {
+				arrivalPat = cfg.Arrival.Instance(0)
+				arrivals = make([]time.Duration, cfg.Parts)
+			}
 			threads := make([]func(tp *sim.Proc), cfg.Parts)
 			var lastPready sim.Time
 			for t := 0; t < cfg.Parts; t++ {
@@ -244,6 +261,9 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 					compute := cfg.Compute + jitters[t]
 					if t == laggard {
 						compute += cfg.laggardDelay()
+					}
+					if arrivals != nil {
+						compute += arrivals[t]
 					}
 					if compute > 0 {
 						r.Compute(tp, compute)
@@ -261,6 +281,9 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 				roundStart := p.Now()
 				lastPready = 0
 				ps.Start(p)
+				if arrivalPat != nil {
+					arrivalPat.Delays(iter, arrivals)
+				}
 				for t := 0; t < cfg.Parts; t++ {
 					g.Add(1)
 					jitters[t] = 0
@@ -276,6 +299,7 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 					preadys[iter-cfg.Warmup] = lastPready
 				}
 			}
+			adaptive = ps.AdaptiveStats()
 		case 1:
 			pr, err := engines[1].PrecvInit(p, recvBuf, cfg.Parts, 0, 0, opts)
 			if err != nil {
@@ -299,5 +323,6 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 		res.LastLatency = append(res.LastLatency, dones[i].Sub(preadys[i]))
 	}
 	res.FabricMessages = w.Rank(0).Node().HCA.Port().MessagesSent()
+	res.Adaptive = adaptive
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // HaloConfig describes the 2-D halo-exchange pattern from the paper's
@@ -40,6 +41,10 @@ type HaloConfig struct {
 	Shards int
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
+	// Arrival, if non-nil, adds a synthetic per-round, per-thread Pready
+	// delay on top of Compute (see SweepConfig.Arrival); each rank draws
+	// from its own seed-mixed pattern instance.
+	Arrival *trace.ArrivalPattern
 }
 
 func (c HaloConfig) withDefaults() HaloConfig {
@@ -76,6 +81,11 @@ type HaloResult struct {
 	IterTimes []time.Duration
 	// Compute is the per-iteration computation baseline (one thread wave).
 	Compute time.Duration
+	// Adaptive is the per-rank decision telemetry of the east-bound send
+	// when the run used StrategyAdaptive (nil entries otherwise) — the
+	// sampled direction for differential and telemetry checks; all four
+	// sends adapt independently.
+	Adaptive []*core.AdaptiveStats
 }
 
 // MeanCommTime returns mean(IterTimes) - Compute, clamped at a nanosecond.
@@ -142,6 +152,7 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 	for i := range rankEnds {
 		rankEnds[i] = make([]sim.Time, total)
 	}
+	adaptive := make([]*core.AdaptiveStats, nodes)
 	laggard := cfg.Threads - 1
 
 	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
@@ -170,6 +181,12 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 		// every round (see RunSweep): per-round closures otherwise dominate
 		// the benchmark's allocation profile.
 		g := sim.NewGroup(p.Engine())
+		var arrivalPat *trace.ArrivalPattern
+		var arrivals []time.Duration
+		if cfg.Arrival != nil {
+			arrivalPat = cfg.Arrival.Instance(id)
+			arrivals = make([]time.Duration, cfg.Threads)
+		}
 		threads := make([]func(tp *sim.Proc), cfg.Threads)
 		for t := 0; t < cfg.Threads; t++ {
 			t := t
@@ -178,6 +195,9 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 				compute := cfg.Compute
 				if t == laggard {
 					compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
+				}
+				if arrivals != nil {
+					compute += arrivals[t]
 				}
 				if compute > 0 {
 					r.Compute(tp, compute)
@@ -194,6 +214,9 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 			r.Barrier(p)
 			if id == 0 {
 				starts[iter] = p.Now()
+			}
+			if arrivalPat != nil {
+				arrivalPat.Delays(iter, arrivals)
 			}
 			for _, pr := range recvs {
 				pr.Start(p)
@@ -215,6 +238,8 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 			// Iteration completes when the slowest rank finishes.
 			rankEnds[id][iter] = p.Now()
 		}
+		// Each rank writes only its own slot — race-free when sharded.
+		adaptive[id] = sends[0].AdaptiveStats()
 	})
 	if err != nil {
 		return HaloResult{}, err
@@ -228,5 +253,6 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 		}
 		res.IterTimes = append(res.IterTimes, end.Sub(starts[iter]))
 	}
+	res.Adaptive = adaptive
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SweepConfig describes the Sweep3D communication pattern of Section V-D:
@@ -39,8 +40,16 @@ type SweepConfig struct {
 	// shards (see cluster.Config.Shards); 0 or 1 runs serial. Results are
 	// byte-identical either way.
 	Shards int
+	// Workers sizes the shard worker fleet (≤ 0 selects the default);
+	// ignored for serial runs. Results are independent of the count.
+	Workers int
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
+	// Arrival, if non-nil, adds a synthetic per-round, per-thread Pready
+	// delay on top of Compute; each rank draws from its own seed-mixed
+	// pattern instance, so schedules replay exactly and nothing is shared
+	// across shards.
+	Arrival *trace.ArrivalPattern
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -84,6 +93,15 @@ type SweepResult struct {
 	// window-sync stalls, per-shard events, cross-shard posts) when the
 	// run was sharded; nil for a serial run.
 	ShardStats *sim.ShardStats
+	// AdaptiveEast and AdaptiveSouth are the per-rank decision telemetry
+	// of the east/south partitioned sends when the run used
+	// StrategyAdaptive (nil entries where the rank has no such send, or
+	// for static strategies). Differential tests compare them across
+	// shard and worker counts.
+	AdaptiveEast, AdaptiveSouth []*core.AdaptiveStats
+	// BufferSums is a per-rank FNV-1a digest of the final receive buffers
+	// (west then north) — the byte-identity witness for differential runs.
+	BufferSums []uint64
 }
 
 // MeanCommTime returns mean(IterTimes) - CriticalCompute, clamped at a
@@ -102,6 +120,14 @@ func (r SweepResult) MeanCommTime() time.Duration {
 		comm = time.Nanosecond
 	}
 	return comm
+}
+
+// fillRankBuf writes a deterministic per-(rank, tag) byte pattern.
+func fillRankBuf(b []byte, rank, tag int) {
+	seed := jitterPRNG(uint64(rank)*0x9e3779b97f4a7c15 + uint64(tag) + 1)
+	for i := range b {
+		b[i] = byte(seed.next())
+	}
 }
 
 // sweepRank is the per-rank request set.
@@ -150,24 +176,32 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	// values are identical to a serial run).
 	iterStarts := make([]sim.Time, total)
 	iterEnds := make([]sim.Time, total)
+	adaptiveE := make([]*core.AdaptiveStats, nodes)
+	adaptiveS := make([]*core.AdaptiveStats, nodes)
+	bufSums := make([]uint64, nodes)
 	laggard := cfg.Threads - 1
 
-	err := w.Run(func(p *sim.Proc, r *mpi.Rank) {
+	err := w.RunWorkers(cfg.Workers, func(p *sim.Proc, r *mpi.Rank) {
 		id := r.ID()
 		x, y := id%cfg.GridX, id/cfg.GridX
 		eng := engines[id]
 		var sr sweepRank
 		var err error
 
-		// Persistent buffers per direction.
+		// Persistent buffers per direction. Send buffers carry a
+		// deterministic per-(rank, direction) byte pattern so the
+		// differential digests witness real data movement, not just
+		// matching zeroes.
 		if x < cfg.GridX-1 {
 			buf := make([]byte, cfg.Bytes)
+			fillRankBuf(buf, id, tagEast)
 			if sr.sendE, err = eng.PsendInit(p, buf, cfg.Threads, rankOf(x+1, y), tagEast, cfg.Opts); err != nil {
 				panic(err)
 			}
 		}
 		if y < cfg.GridY-1 {
 			buf := make([]byte, cfg.Bytes)
+			fillRankBuf(buf, id, tagSouth)
 			if sr.sendS, err = eng.PsendInit(p, buf, cfg.Threads, rankOf(x, y+1), tagSouth, cfg.Opts); err != nil {
 				panic(err)
 			}
@@ -189,6 +223,12 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		// every round: with thousands of ranks iterating, per-round closures
 		// are the dominant allocation source of the whole benchmark.
 		g := sim.NewGroup(p.Engine())
+		var arrivalPat *trace.ArrivalPattern
+		var arrivals []time.Duration
+		if cfg.Arrival != nil {
+			arrivalPat = cfg.Arrival.Instance(id)
+			arrivals = make([]time.Duration, cfg.Threads)
+		}
 		threads := make([]func(tp *sim.Proc), cfg.Threads)
 		for t := 0; t < cfg.Threads; t++ {
 			t := t
@@ -197,6 +237,9 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 				compute := cfg.Compute
 				if t == laggard {
 					compute += time.Duration(float64(cfg.Compute) * cfg.NoisePct / 100)
+				}
+				if arrivals != nil {
+					compute += arrivals[t]
 				}
 				if compute > 0 {
 					r.Compute(tp, compute)
@@ -218,6 +261,9 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 			r.Barrier(p)
 			if id == 0 {
 				iterStarts[iter] = p.Now()
+			}
+			if arrivalPat != nil {
+				arrivalPat.Delays(iter, arrivals)
 			}
 			// Arm all requests for the round.
 			if sr.recvW != nil {
@@ -256,6 +302,24 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 				iterEnds[iter] = p.Now()
 			}
 		}
+		// Per-rank telemetry and buffer digests land in this rank's own
+		// slot — no cross-rank reads, so sharded runs stay race-free.
+		if sr.sendE != nil {
+			adaptiveE[id] = sr.sendE.AdaptiveStats()
+		}
+		if sr.sendS != nil {
+			adaptiveS[id] = sr.sendS.AdaptiveStats()
+		}
+		sum := uint64(14695981039346656037) // FNV-1a offset basis
+		for _, pr := range []*core.Precv{sr.recvW, sr.recvN} {
+			if pr == nil {
+				continue
+			}
+			for _, b := range pr.Buffer() {
+				sum = (sum ^ uint64(b)) * 1099511628211
+			}
+		}
+		bufSums[id] = sum
 	})
 	if err != nil {
 		return SweepResult{}, err
@@ -263,6 +327,8 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	for iter := cfg.Warmup; iter < total; iter++ {
 		res.IterTimes = append(res.IterTimes, iterEnds[iter].Sub(iterStarts[iter]))
 	}
+	res.AdaptiveEast, res.AdaptiveSouth = adaptiveE, adaptiveS
+	res.BufferSums = bufSums
 	if set := w.Cluster().ShardSet(); set != nil {
 		st := set.Stats()
 		res.ShardStats = &st

@@ -24,6 +24,10 @@ const (
 	// StrategyTimerPLogGP is StrategyPLogGP with the δ-timer early-bird
 	// mechanism.
 	StrategyTimerPLogGP
+	// StrategyAdaptive starts from the PLogGP plan and re-selects the
+	// aggregation design between rounds from observed Pready arrival
+	// statistics (see adaptive.go).
+	StrategyAdaptive
 )
 
 func (s Strategy) String() string {
@@ -36,8 +40,29 @@ func (s Strategy) String() string {
 		return "ploggp"
 	case StrategyTimerPLogGP:
 		return "timer-ploggp"
+	case StrategyAdaptive:
+		return "adaptive"
 	default:
 		return "unknown strategy"
+	}
+}
+
+// ParseStrategy maps a strategy name (as String prints, plus the "timer"
+// shorthand) back to its value — the CLI-flag inverse of String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "baseline":
+		return StrategyBaseline, nil
+	case "tuning-table":
+		return StrategyTuningTable, nil
+	case "ploggp":
+		return StrategyPLogGP, nil
+	case "timer-ploggp", "timer":
+		return StrategyTimerPLogGP, nil
+	case "adaptive":
+		return StrategyAdaptive, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q (want baseline, tuning-table, ploggp, timer-ploggp, or adaptive)", name)
 	}
 }
 
@@ -179,6 +204,20 @@ type Options struct {
 	UseInline bool
 	// Observer, if non-nil, receives profiling callbacks on the sender.
 	Observer Observer
+
+	// AdaptiveWindow is the number of completed rounds the adaptive
+	// strategy's observation ring holds (zero selects 8).
+	AdaptiveWindow int
+	// AdaptiveHysteresisPct is the relative improvement a candidate design
+	// must show over the incumbent before the switcher moves (zero
+	// selects 10).
+	AdaptiveHysteresisPct float64
+	// AdaptiveDwell is the minimum number of rounds between switches
+	// (zero selects 4).
+	AdaptiveDwell int
+	// AdaptiveWarmup is the number of completed rounds before the first
+	// switch is allowed (zero selects AdaptiveWindow).
+	AdaptiveWarmup int
 }
 
 // Plan is the resolved aggregation scheme for one request.
@@ -220,7 +259,7 @@ func resolvePlan(opts Options, userParts, bytes int) (Plan, error) {
 			if opts.QPs == 0 {
 				opts.QPs = val.QPs
 			}
-		case StrategyPLogGP, StrategyTimerPLogGP:
+		case StrategyPLogGP, StrategyTimerPLogGP, StrategyAdaptive:
 			model := opts.Model
 			if model == nil {
 				model = defaultModel()

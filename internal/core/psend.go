@@ -53,6 +53,10 @@ type Psend struct {
 	postedWRs    int
 	completedWRs int
 
+	// adapt is the adaptive strategy's observer + switcher; nil for the
+	// static strategies.
+	adapt *adaptiveState
+
 	// segScratch backs the one-element gather list of every posted WR.
 	// PostSend consumes the gather list synchronously (no park between
 	// filling the scratch and the post), so one scratch per request
@@ -113,6 +117,13 @@ func (e *Engine) PsendInit(p *sim.Proc, buf []byte, partitions, dest, tag int, o
 		flagLock:  sim.NewResource(e.r.Engine(), 1),
 	}
 	e.psends[ps.reqID] = ps
+	if opts.Strategy == StrategyAdaptive {
+		model := opts.Model
+		if model == nil {
+			model = defaultModel()
+		}
+		ps.adapt = newAdaptiveState(opts, plan, partitions, len(buf), model)
+	}
 
 	if opts.Strategy != StrategyBaseline {
 		// Transport partitions spread over the plan's endpoints; the SQ
@@ -180,6 +191,16 @@ func (ps *Psend) Plan() Plan { return ps.plan }
 // request allocates nothing.
 func (ps *Psend) Start(p *sim.Proc) error {
 	ps.round++
+	if ps.adapt != nil && ps.round > 1 {
+		// Round boundary: the request is quiescent (the application must
+		// Wait before re-Starting), so the adaptive switcher may fold the
+		// finished round into its observation ring and re-select the
+		// design here without touching the hot path.
+		ps.adapt.finishRound()
+		if ps.adapt.decide(ps.round) && ps.adapt.transport != ps.plan.Transport {
+			ps.replanGroups(ps.adapt.transport)
+		}
+	}
 	ps.sentParts = 0
 	ps.postedWRs = 0
 	ps.completedWRs = 0
@@ -212,10 +233,25 @@ func (ps *Psend) Start(p *sim.Proc) error {
 	if err := ps.e.err; err != nil {
 		return err
 	}
+	if ps.adapt != nil {
+		ps.adapt.beginRound(p.Now())
+	}
 	if ps.opts.Observer != nil {
 		ps.opts.Observer.PsendStart(ps.round, p.Now())
 	}
 	return nil
+}
+
+// replanGroups adopts a new transport partition count chosen by the
+// adaptive switcher. Called only at a round boundary (Start), off the hot
+// path, so rebuilding the group array may allocate; the QP count and the
+// endpoints are fixed for the request's lifetime, and every adaptive
+// candidate keeps the per-endpoint partition load constant, so the
+// receiver's worst-case receive-WR provisioning stays valid.
+func (ps *Psend) replanGroups(transport int) {
+	ps.plan.Transport = transport
+	ps.plan.GroupSize = ps.userParts / transport
+	ps.groups = nil // Start rebuilds them for the new plan
 }
 
 // Pready marks user partition i ready for transfer (callable from any
@@ -251,8 +287,15 @@ func (ps *Psend) Pready(p *sim.Proc, i int) error {
 	}
 	g.ready[gi] = true
 	g.arrived++
+	if ps.adapt != nil {
+		// Observed after the flag-array serialization, matching what the
+		// send path can act on; the duplicate guard above ensures exactly
+		// one observation per partition per round.
+		ps.adapt.recordArrival(i, p.Now())
+	}
 
-	if ps.opts.Strategy == StrategyTimerPLogGP {
+	if ps.opts.Strategy == StrategyTimerPLogGP ||
+		(ps.adapt != nil && ps.adapt.mode == AdaptiveTimer) {
 		return ps.timerPready(p, g, gi)
 	}
 	// Tuning-table and PLogGP aggregators: post the group's single WR
@@ -358,6 +401,9 @@ func (ps *Psend) postRun(p *sim.Proc, g *sendGroup, lo, count int) error {
 	}
 	ps.postedWRs++
 	ps.sentParts += count
+	if ps.adapt != nil {
+		ps.adapt.noteSent()
+	}
 	ps.r.Wake()
 	return nil
 }
@@ -373,6 +419,12 @@ func (ps *Psend) onSendComp(p *sim.Proc, c xport.Completion) {
 		return
 	}
 	ps.completedWRs++
+	if ps.adapt != nil && ps.done() {
+		// The last acknowledgment of the round: done() flips only here
+		// (postRun always leaves completedWRs < postedWRs), so this stamps
+		// the round's completion instant exactly once.
+		ps.adapt.noteDone(p.Now())
+	}
 }
 
 // done reports whether the current round has fully completed on the

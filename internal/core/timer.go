@@ -1,6 +1,20 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// curDelta returns the δ the timer aggregator arms with: the adaptive
+// switcher's tail-derived value when the adaptive strategy is running in
+// timer mode, otherwise the static Options value.
+func (ps *Psend) curDelta() time.Duration {
+	if ps.adapt != nil {
+		return ps.adapt.delta
+	}
+	return ps.opts.delta()
+}
 
 // timerPready implements the timer-based PLogGP aggregator of Section IV-D
 // for one arriving user partition (group-relative index gi):
@@ -29,7 +43,7 @@ func (ps *Psend) timerPready(p *sim.Proc, g *sendGroup, gi int) error {
 		// First arrival: sleep up to δ, periodically woken by the group
 		// condition.
 		g.armed = true
-		if g.cond.WaitTimeout(p, ps.opts.delta()) {
+		if g.cond.WaitTimeout(p, ps.curDelta()) {
 			// Group completed during the sleep; the last thread sent it.
 			return nil
 		}

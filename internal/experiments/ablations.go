@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Ablation experiments beyond the paper's figures: the design choices
@@ -147,6 +148,53 @@ func AblationModel(cfg Config) ([]*stats.Table, error) {
 			measured)
 	}
 	return []*stats.Table{tb}, nil
+}
+
+// AblationAdaptive evaluates the self-tuning aggregator against each
+// static design across the four synthetic arrival regimes (uniform,
+// bursty, zipf, straggler) — the fig8-style exhibit for StrategyAdaptive.
+// The second table reports the Hunold-style never-worse guard: adaptive
+// must stay within bench.AdaptiveGuardBound of the best static design at
+// every point and strictly beat the worst static design on the skewed
+// patterns.
+func AblationAdaptive(cfg Config) ([]*stats.Table, error) {
+	grid := bench.AdaptiveGridConfig{
+		Jobs:     cfg.Jobs,
+		Provider: cfg.Provider,
+	}
+	if cfg.Quick {
+		grid.Sizes = []int{256 << 10}
+		grid.Iters = 16
+	}
+	cfg.progress("ablation-adaptive: %d arrival patterns, 4 designs each", len(trace.PatternKinds()))
+	points, err := bench.RunAdaptiveGrid(grid)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(
+		"Ablation: adaptive vs static designs across arrival patterns (mean round latency)",
+		"pattern", "size", "baseline", "ploggp", "timer", "adaptive", "best static", "switches", "final design")
+	for _, p := range points {
+		final := p.FinalMode
+		if p.FinalTransport > 0 {
+			final = fmt.Sprintf("%s/t%d", p.FinalMode, p.FinalTransport)
+		}
+		tb.AddRow(p.Pattern, stats.FormatBytes(p.Bytes),
+			time.Duration(p.BaselineNs), time.Duration(p.PLogGPNs),
+			time.Duration(p.TimerNs), time.Duration(p.AdaptiveNs),
+			p.BestStatic, p.Switches, final)
+	}
+	guard := stats.NewTable(
+		fmt.Sprintf("Adaptive never-worse guard (bound x%.2f vs best static)", bench.AdaptiveGuardBound),
+		"check", "result")
+	if violations := bench.CheckAdaptiveGuard(points, bench.AdaptiveGuardBound); len(violations) > 0 {
+		for _, v := range violations {
+			guard.AddRow("VIOLATION", v)
+		}
+	} else {
+		guard.AddRow("all points", "ok")
+	}
+	return []*stats.Table{tb, guard}, nil
 }
 
 // AblationTimer isolates the timer mechanism across δ, including the

@@ -80,6 +80,7 @@ var registry = []struct {
 	{"ablation-timer", "Ablation: timer delta endpoints (0 .. infinity)", AblationTimer},
 	{"halo", "Extension: halo-exchange communication speedup (the suite's other pattern)", Halo},
 	{"ablation-layered", "Ablation: layered (MPIPCL-style) vs in-library persistent baseline", AblationLayered},
+	{"ablation-adaptive", "Ablation: adaptive strategy vs each static design across arrival patterns", AblationAdaptive},
 }
 
 // Names lists experiment ids in paper order.

@@ -232,6 +232,16 @@ type Port struct {
 	egressFreeAt  sim.Time
 	ingressFreeAt sim.Time
 
+	// resvPending batches burst reservations that fired at the same
+	// virtual instant so the ingress cursor can charge them in canonical
+	// (arrival bound, source ID) order one nanosecond later — independent
+	// of event seq order, which differs between serial and sharded runs
+	// (see fireIngressResv). resvFlushAt is the instant of the scheduled
+	// flush (at most one per instant). Both are owned by this port's
+	// engine.
+	resvPending []ingressResv
+	resvFlushAt sim.Time
+
 	ctrlHandler func(from *Port, payload any)
 	// ctrlLastAt enforces FIFO control delivery per destination port. It
 	// is advanced by arrival-side reservation events, so it is owned by
@@ -528,11 +538,11 @@ func (fl *Flow) startHead() {
 // step injects one burst of the head message, then schedules the next
 // action. It runs as an event on the source engine. The destination's
 // ingress cursor is not touched here: a reservation event posted one wire
-// latency ahead charges it on the destination engine. Reservations are
-// the injections shifted by the constant WireLatency, so they fire in
-// injection order and apply the same cursor updates, in the same
-// sequence, with the same values as charging at injection time on a
-// single serial engine — arrival timestamps are bit-for-bit identical.
+// latency ahead joins the destination port's pending batch, and a flush
+// charges the whole batch in canonical (arrival bound, source ID) order —
+// see fireIngressResv. That order is a pure function of the traffic, so
+// arrival timestamps are bit-for-bit identical across serial and sharded
+// runs and across worker counts.
 //partib:hotpath
 func (fl *Flow) step() {
 	e := fl.eng
@@ -577,36 +587,116 @@ func (fl *Flow) step() {
 	fl.finish(egressEnd)
 }
 
-// fireIngressResv runs on the destination engine when a burst reaches the
-// destination: it serializes the burst on the ingress cursor, and for a
-// message's final burst schedules the delivery locally and routes the
-// completion (or, without one, the flowMsg recycle) back to the source —
-// both at timestamps at least one lookahead ahead, keeping every
-// cross-shard hop conservative.
+// ingressResv is one burst reservation awaiting its destination's ingress
+// charge. The arrival bound, finality, and tie-break key are snapshotted at
+// reservation-fire time (the flowMsg's single reservation slot may be
+// rewritten by the source before the flush runs), so the flush touches the
+// flowMsg only for final bursts, whose slot is stable until recycle.
+type ingressResv struct {
+	at     sim.Time // reservation fire instant (batch key)
+	arrive sim.Time // arrival lower bound (egress end + wire latency)
+	srcID  int      // tie-break after arrive: source port ID
+	final  bool     // message's last burst: schedule delivery + completion
+	fm     *flowMsg
+}
+
+// resvBefore is the canonical ingress-charge order within one instant's
+// batch: earlier arrival bound first, source port ID breaking ties. Two
+// reservations from one source port can never carry equal arrival bounds —
+// the shared egress cursor strictly separates their egress ends — so the
+// order is total.
 //partib:hotpath
-func fireIngressResv(_ sim.Time, arg any) {
+func resvBefore(a, b *ingressResv) bool {
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
+	}
+	return a.srcID < b.srcID
+}
+
+// fireIngressResv runs on the destination engine when a burst reaches the
+// destination. It does not charge the ingress cursor directly: reservations
+// from different source ports can fire at the same virtual instant, and
+// their event order at a tie follows engine seq assignment, which depends
+// on how nodes are grouped onto shard engines. Charging in that order would
+// make delivery timestamps differ between serial and sharded runs. Instead
+// the reservation joins the port's pending batch, and a flush one
+// nanosecond later charges the whole instant's batch in canonical
+// (arrival bound, source ID) order — the same order, and therefore the same
+// timestamps, on every shard layout.
+//partib:hotpath
+func fireIngressResv(at sim.Time, arg any) {
 	fm := arg.(*flowMsg)
-	fl := fm.fl
-	arrive := fm.resvArrive
-	if fl.dst.ingressFreeAt > arrive {
-		arrive = fl.dst.ingressFreeAt
+	dst := fm.fl.dst
+	dst.resvPending = append(dst.resvPending, ingressResv{ //partlint:allow hotpathalloc amortized; batch buffer is reused
+		at:     at,
+		arrive: fm.resvArrive,
+		srcID:  fm.fl.src.id,
+		final:  fm.resvFinal,
+		fm:     fm,
+	})
+	if flushAt := at + 1; dst.resvFlushAt < flushAt {
+		dst.resvFlushAt = flushAt
+		dst.eng.AtCall(flushAt, fireIngressFlush, dst)
 	}
-	fl.dst.ingressFreeAt = arrive
-	if !fm.resvFinal {
-		return
+}
+
+// fireIngressFlush charges the previous instant's reservation batch on the
+// ingress cursor in canonical order, and for each final burst schedules the
+// delivery locally and routes the completion (or, without one, the flowMsg
+// recycle) back to the source — both at timestamps at least one lookahead
+// ahead, keeping every cross-shard hop conservative. Only entries that
+// fired strictly before this flush are processed: an entry firing at the
+// flush instant itself may sit in the buffer already or not (seq order at
+// the tie is arbitrary), so it is left for its own flush either way.
+//partib:hotpath
+func fireIngressFlush(now sim.Time, arg any) {
+	p := arg.(*Port)
+	pending := p.resvPending
+	n := 0
+	for n < len(pending) && pending[n].at < now {
+		n++
 	}
-	fm.lastArrival = arrive
-	e := fl.dst.eng
-	e.AtCall(arrive, fireFlowDeliver, fm)
-	if fm.msg.OnAck != nil {
-		fm.ackAt = arrive.Add(fl.ackLat)
-		e.Post(fl.eng, fm.ackAt, fireFlowAck, fm)
-	} else {
-		// No completion requested: the struct still belongs to the source
-		// engine's free list, so send it home one pair lookahead after the
-		// delivery (the recycle instant has no observable effect).
-		e.Post(fl.eng, arrive.Add(fl.relLat), fireFlowRelease, fm)
+	batch := pending[:n]
+	// Insertion sort into canonical order; batches are almost always a
+	// single entry, a handful under heavy fan-in.
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && resvBefore(&batch[j], &batch[j-1]); j-- {
+			batch[j], batch[j-1] = batch[j-1], batch[j]
+		}
 	}
+	for i := range batch {
+		r := &batch[i]
+		arrive := r.arrive
+		if p.ingressFreeAt > arrive {
+			arrive = p.ingressFreeAt
+		}
+		p.ingressFreeAt = arrive
+		if !r.final {
+			continue
+		}
+		fm := r.fm
+		fl := fm.fl
+		fm.lastArrival = arrive
+		e := p.eng
+		e.AtCall(arrive, fireFlowDeliver, fm)
+		if fm.msg.OnAck != nil {
+			fm.ackAt = arrive.Add(fl.ackLat)
+			e.Post(fl.eng, fm.ackAt, fireFlowAck, fm)
+		} else {
+			// No completion requested: the struct still belongs to the
+			// source engine's free list, so send it home one pair lookahead
+			// after the delivery (the recycle instant has no observable
+			// effect).
+			e.Post(fl.eng, arrive.Add(fl.relLat), fireFlowRelease, fm)
+		}
+	}
+	// Drop the processed prefix; clear vacated slots so delivered flowMsgs
+	// are not pinned until overwritten.
+	kept := copy(pending, pending[n:])
+	for i := kept; i < len(pending); i++ {
+		pending[i] = ingressResv{}
+	}
+	p.resvPending = pending[:kept]
 }
 
 // finish closes out the sender side of a fully injected message and

@@ -152,6 +152,13 @@ func (w *World) Launch(body func(p *sim.Proc, r *Rank)) *sim.Group {
 // each rank's proc is spawned on its node's shard engine and the shard
 // set runs the job with its default worker fleet.
 func (w *World) Run(body func(p *sim.Proc, r *Rank)) error {
+	return w.RunWorkers(0, body)
+}
+
+// RunWorkers is Run with an explicit shard-fleet size (workers ≤ 0 selects
+// the default); serial worlds ignore the count. Differential tests use it
+// to prove results are independent of the worker count.
+func (w *World) RunWorkers(workers int, body func(p *sim.Proc, r *Rank)) error {
 	if w.cluster.ShardSet() == nil {
 		w.Launch(body)
 		return w.Engine().Run()
@@ -162,5 +169,5 @@ func (w *World) Run(body func(p *sim.Proc, r *Rank)) error {
 			body(p, r)
 		})
 	}
-	return w.cluster.Run(0)
+	return w.cluster.Run(workers)
 }

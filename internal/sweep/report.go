@@ -49,6 +49,11 @@ type BenchReport struct {
 	// the parallel pass effectively ran serial (one worker or one core),
 	// in which case Speedup measures nothing.
 	Warning string `json:"warning,omitempty"`
+	// CoreHash fingerprints the internal/core sources the record was
+	// produced against (stamped by make via -corehash); bench-compare
+	// warns when a committed record's hash no longer matches the tree.
+	// Empty in records predating the tracking.
+	CoreHash string `json:"core_hash,omitempty"`
 }
 
 // Clock supplies wall-clock timestamps for benchmark measurement. This
@@ -197,6 +202,9 @@ type HotpathReport struct {
 	SchedBucketEvents uint64 `json:"sched_bucket_events,omitempty"`
 	SchedFarEvents    uint64 `json:"sched_far_events,omitempty"`
 	SchedMaxBucketLen int    `json:"sched_max_bucket_len,omitempty"`
+	// CoreHash fingerprints the internal/core sources the record was
+	// produced against (see BenchReport.CoreHash).
+	CoreHash string `json:"core_hash,omitempty"`
 }
 
 // NewHotpathReport assembles a HotpathReport from one measured pass.
