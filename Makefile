@@ -11,7 +11,7 @@ GO ?= go
 # baseline predates a core change and should be re-recorded.
 CORE_HASH := $(shell cat internal/core/*.go | sha256sum | cut -c1-16)
 
-.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare bench-pdes bench-pdes-smoke bench-adaptive bench-adaptive-smoke
+.PHONY: check vet lint staticcheck build test race conformance bench bench-hotpath bench-parallel bench-compare bench-pdes bench-pdes-smoke bench-adaptive bench-adaptive-smoke bench-topo bench-topo-smoke
 
 check: vet lint build test race conformance
 
@@ -110,3 +110,18 @@ bench-adaptive:
 # switcher is caught on every PR.
 bench-adaptive-smoke:
 	$(GO) run ./cmd/partbench -adaptivejson /dev/null -quick -adaptiveguard
+
+# Regenerate BENCH_topo.json: the multi-switch topology acceptance
+# workload — an explicit single-link run asserted byte-identical to the
+# default fabric (serial and sharded), then incast:16 and permutation
+# patterns on a 2-level fat-tree, each asserted deterministic across
+# shard/worker counts and required to show a >=2x completion-time spread
+# (congested vs uncongested).
+bench-topo:
+	$(GO) run ./cmd/partbench -topojson BENCH_topo.json -corehash $(CORE_HASH)
+
+# CI smoke variant: smaller per-flow payload, same three gates; exits
+# nonzero if single-link parity breaks, congestion reports diverge
+# across shard layouts, or the incast stops contending.
+bench-topo-smoke:
+	$(GO) run ./cmd/partbench -topojson /dev/null -quick

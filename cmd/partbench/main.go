@@ -16,6 +16,8 @@
 //	partbench -adaptivejson BENCH_adaptive.json # adaptive-vs-static arrival grid
 //	partbench -adaptivejson /dev/null -quick -adaptiveguard  # never-worse smoke gate
 //	partbench -strategy adaptive -pattern straggler          # one probe, telemetry printed
+//	partbench -experiment fig6 -quick -topo fat-tree:k=8     # run over a multi-switch fabric
+//	partbench -topojson BENCH_topo.json         # topology acceptance: parity + congestion gates
 //
 // Each experiment prints the rows/series of the corresponding figure or
 // table of "A Dynamic Network-Native MPI Partitioned Aggregation Over
@@ -44,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -68,6 +71,8 @@ func main() {
 	pattern := flag.String("pattern", "straggler", "with -strategy: synthetic Pready arrival pattern (uniform, bursty, zipf, straggler)")
 	coreHash := flag.String("corehash", "", "fingerprint of internal/core sources to stamp into JSON reports (set by make)")
 	shards := flag.Int("shards", 0, "conservative-PDES shard count per simulation (0 or 1 = serial; output is identical)")
+	topo := flag.String("topo", "", "fabric topology spec for every benchmark run (single-link, two-level:rack=8, fat-tree:k=8, dragonfly:groups=9,routers=4,hosts=2)")
+	topoJSON := flag.String("topojson", "", "run the topology acceptance workload (single-link parity, fat-tree incast vs permutation) and write its report to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -114,6 +119,21 @@ func main() {
 		}()
 	}
 
+	if *topo != "" {
+		if _, err := fabric.ParseTopology(*topo); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: -topo: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *topoJSON != "" {
+		if err := runTopo(*topoJSON, *quick, *coreHash); err != nil {
+			fmt.Fprintf(os.Stderr, "partbench: topo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *hotpathJSON != "" {
 		if err := runHotpath(*hotpathJSON, *coreHash); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: hotpath: %v\n", err)
@@ -139,7 +159,7 @@ func main() {
 	}
 
 	if *strategy != "" {
-		if err := runProbe(*strategy, *pattern, *provider, *shards, *quick); err != nil {
+		if err := runProbe(*strategy, *pattern, *provider, *topo, *shards, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "partbench: probe: %v\n", err)
 			os.Exit(1)
 		}
@@ -168,7 +188,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := experiments.Config{Quick: *quick, Jobs: *jobs, Provider: *provider, Shards: *shards}
+	cfg := experiments.Config{Quick: *quick, Jobs: *jobs, Provider: *provider, Shards: *shards, Topo: *topo}
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
@@ -493,7 +513,7 @@ func runAdaptive(path string, quick, guard bool, coreHash, provider string, jobs
 // strategy and arrival pattern and prints its mean round latency plus —
 // for the adaptive strategy — the decision telemetry. A quick way to watch
 // the switcher act without running a whole experiment grid.
-func runProbe(strategy, pattern, provider string, shards int, quick bool) error {
+func runProbe(strategy, pattern, provider, topo string, shards int, quick bool) error {
 	strat, err := core.ParseStrategy(strategy)
 	if err != nil {
 		return err
@@ -511,6 +531,7 @@ func runProbe(strategy, pattern, provider string, shards int, quick bool) error 
 		Opts:     core.Options{Strategy: strat},
 		Provider: provider,
 		Shards:   shards,
+		Topo:     topo,
 		Arrival: &trace.ArrivalPattern{
 			Kind:   kind,
 			Seed:   1,

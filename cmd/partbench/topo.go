@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/netgauge"
+)
+
+// topoPattern is one congestion pattern's report plus the verdict of the
+// shard/worker-count determinism sweep over it.
+type topoPattern struct {
+	netgauge.CongestionReport
+	// DeterministicAcrossShards is true when the report (completion,
+	// bandwidth, and every per-link counter) was byte-identical at every
+	// probed shard and worker count.
+	DeterministicAcrossShards bool `json:"deterministic_across_shards"`
+}
+
+// topoReport is BENCH_topo.json: the multi-switch fabric's acceptance
+// record. SingleLinkParity witnesses that the graph machinery leaves the
+// original single-link model untouched; the incast/permutation pair
+// witnesses that shared links genuinely contend (the spread must be at
+// least 2x) and that contention resolves identically under any shard
+// layout.
+type topoReport struct {
+	Tool     string `json:"tool"`
+	Workload string `json:"workload"`
+	CoreHash string `json:"core_hash,omitempty"`
+	Topology string `json:"topology"`
+	// SingleLinkParity: an explicit -topo single-link run (serial and at
+	// 2 shards) reproduced the default fabric's benchmark byte for byte.
+	SingleLinkParity bool `json:"single_link_parity"`
+	// Spread is incast completion over permutation completion.
+	Spread      float64     `json:"incast_vs_permutation_spread"`
+	Permutation topoPattern `json:"permutation"`
+	Incast      topoPattern `json:"incast"`
+}
+
+// p2pEqual compares the deterministic observables of two benchmark runs.
+func p2pEqual(a, b bench.P2PResult) bool {
+	if a.FabricMessages != b.FabricMessages ||
+		len(a.IterTimes) != len(b.IterTimes) || len(a.LastLatency) != len(b.LastLatency) {
+		return false
+	}
+	for i := range a.IterTimes {
+		if a.IterTimes[i] != b.IterTimes[i] {
+			return false
+		}
+	}
+	for i := range a.LastLatency {
+		if a.LastLatency[i] != b.LastLatency[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runTopo measures the topology acceptance workload and writes
+// BENCH_topo.json. Any parity or determinism miss — or a congestion
+// spread under 2x — is a hard error after the report is written: a
+// fabric that contends differently per shard layout is wrong, not slow.
+func runTopo(path string, quick bool, coreHash string) error {
+	spec := "fat-tree:k=8"
+	bytes := 1 << 20
+	workload := "p2p parity single-link shards=0,2; congestion fat-tree:k=8 incast:16+permutation bytes=1MiB shards=2,4,8"
+	if quick {
+		bytes = 256 << 10
+		workload = "p2p parity single-link shards=0,2; congestion fat-tree:k=8 incast:16+permutation bytes=256KiB shards=2,4,8 (quick)"
+	}
+
+	// Single-link parity: the graph machinery must not perturb the
+	// original shared-link model, serial or sharded.
+	p2p := bench.P2PConfig{
+		Parts: 16, Bytes: 256 << 10, Warmup: 2, Iters: 8,
+		Opts: core.Options{Strategy: core.StrategyPLogGP},
+	}
+	base, err := bench.RunP2P(p2p)
+	if err != nil {
+		return err
+	}
+	parity := true
+	for _, shards := range []int{0, 2} {
+		cfg := p2p
+		cfg.Topo = "single-link"
+		cfg.Shards = shards
+		got, err := bench.RunP2P(cfg)
+		if err != nil {
+			return err
+		}
+		if !p2pEqual(base, got) {
+			parity = false
+		}
+	}
+
+	topo, err := fabric.ParseTopology(spec)
+	if err != nil {
+		return err
+	}
+	congest := func(pattern string) (topoPattern, error) {
+		serial, err := netgauge.Congestion(netgauge.CongestionConfig{
+			Topo: topo, Pattern: pattern, Bytes: bytes,
+		})
+		if err != nil {
+			return topoPattern{}, err
+		}
+		det := true
+		for _, sw := range [][2]int{{2, 1}, {4, 2}, {8, 2}} {
+			got, err := netgauge.Congestion(netgauge.CongestionConfig{
+				Topo: topo, Pattern: pattern, Bytes: bytes,
+				Shards: sw[0], Workers: sw[1],
+			})
+			if err != nil {
+				return topoPattern{}, err
+			}
+			if !reflect.DeepEqual(got, serial) {
+				det = false
+			}
+		}
+		return topoPattern{CongestionReport: serial, DeterministicAcrossShards: det}, nil
+	}
+	perm, err := congest("permutation")
+	if err != nil {
+		return err
+	}
+	incast, err := congest("incast:16")
+	if err != nil {
+		return err
+	}
+
+	report := topoReport{
+		Tool:             "partbench",
+		Workload:         workload,
+		CoreHash:         coreHash,
+		Topology:         topo.Name(),
+		SingleLinkParity: parity,
+		Permutation:      perm,
+		Incast:           incast,
+	}
+	if perm.Completion > 0 {
+		report.Spread = float64(incast.Completion) / float64(perm.Completion)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"partbench: topo %s: permutation %v, incast:16 %v (%.2fx spread), max util %.2f on %s, queue p99 %v\n",
+		report.Topology, perm.Completion, incast.Completion, report.Spread,
+		incast.MaxLinkUtilization, incast.MaxLink, incast.QueueP99)
+	switch {
+	case !parity:
+		return fmt.Errorf("-topo single-link diverged from the default fabric")
+	case !perm.DeterministicAcrossShards || !incast.DeterministicAcrossShards:
+		return fmt.Errorf("congestion reports diverged across shard/worker counts")
+	case report.Spread < 2:
+		return fmt.Errorf("incast/permutation spread %.2fx below the 2x congestion gate", report.Spread)
+	}
+	fmt.Fprintf(os.Stderr,
+		"partbench: topo gates hold (parity, shard determinism, >=2x spread); report written to %s\n", path)
+	return nil
+}

@@ -1,0 +1,69 @@
+package a
+
+// This file models the fabric's per-hop link cursor: every burst crossing
+// a multi-switch route charges one hop record per link, so the charge
+// loop runs once per (burst, hop) and must not allocate. Hop records come
+// from a per-flow free list (the miss path is the one sanctioned
+// allocation, waived), and the pending queue append is amortized growth
+// over a reused buffer.
+
+type hopRecord struct {
+	at, arrive int64
+	hop        int32
+	arg        *item
+}
+
+type linkCursor struct {
+	freeAt  int64
+	pending []*hopRecord
+	free    []*hopRecord
+}
+
+// enqueue is the reservation shape: the pending append rides a buffer
+// that is compacted and reused every flush, so growth is amortized.
+//
+//partib:hotpath
+func (l *linkCursor) enqueue(hr *hopRecord) {
+	l.pending = append(l.pending, hr) //partlint:allow hotpathalloc amortized; pending buffers are compacted and reused
+}
+
+// takeHop is the free-list shape: reuse a recycled record, and only the
+// miss path — first bursts of a flow, before steady state — allocates.
+//
+//partib:hotpath
+func (l *linkCursor) takeHop(at int64) *hopRecord {
+	if n := len(l.free); n > 0 {
+		hr := l.free[n-1]
+		l.free = l.free[:n-1]
+		hr.at = at
+		return hr
+	}
+	return &hopRecord{at: at} //partlint:allow hotpathalloc free-list miss; steady state recycles
+}
+
+// charge is the per-hop arbitration shape: cursor math over existing
+// memory, nothing allocated per burst.
+//
+//partib:hotpath
+func (l *linkCursor) charge(hr *hopRecord, lat, tx int64) {
+	start := hr.arrive
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	l.freeAt = start + tx
+	hr.arrive = l.freeAt + lat
+	hr.hop++
+}
+
+// chargeFresh is the shape gone wrong: building a fresh record (and a
+// per-charge continuation) allocates on every burst of every hop.
+//
+//partib:hotpath
+func (l *linkCursor) chargeFresh(at, lat int64, done func(*hopRecord)) {
+	hr := &hopRecord{at: at} // want "takes the address of a composite literal"
+	fire := func() {         // want "defines a closure"
+		done(hr)
+	}
+	fire()
+	_ = lat
+}

@@ -1,0 +1,47 @@
+package a
+
+import (
+	"sort"
+	"time"
+)
+
+// This file models the fabric's ECMP route selection: the spine pick must
+// be a pure hash of (src, dst, flowID) so the same flow takes the same
+// path under any shard layout. Seeding the pick from the wall clock, or
+// choosing among equal-cost candidates in map order, re-introduces the
+// run-over-run route churn the hash exists to prevent.
+
+// pickSpineByClock derives the spine index from wall time: two runs of
+// the same simulation would route the same flow differently.
+func pickSpineByClock(spines int) int {
+	return int(time.Now().UnixNano()) % spines // want "time.Now in a sim-reachable package"
+}
+
+// candidateSet models the equal-cost up-links out of an edge switch.
+type candidateSet map[int]struct{}
+
+// pickSpineByMapOrder installs the first candidate map iteration yields:
+// the route — and every queueing decision downstream of it — would follow
+// Go's randomized iteration order.
+func pickSpineByMapOrder(up candidateSet, install func(int)) {
+	for li := range up {
+		install(li) // want "call to install while ranging over a map"
+		return
+	}
+}
+
+// pickSpineHashed is the sanctioned shape: a splitmix64-style mix of the
+// flow key over a sorted candidate slice — a pure function of (src, dst,
+// flowID), independent of event order and shard count.
+func pickSpineHashed(up candidateSet, src, dst int, flowID uint64, install func(int)) {
+	cands := make([]int, 0, len(up))
+	for li := range up {
+		cands = append(cands, li)
+	}
+	sort.Ints(cands)
+	x := uint64(src)<<40 ^ uint64(dst)<<20 ^ flowID
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	install(cands[x%uint64(len(cands))])
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/profiler"
 	"repro/internal/sim"
@@ -89,6 +90,11 @@ type P2PConfig struct {
 	// shards (see cluster.Config.Shards); 0 or 1 runs serial. Results are
 	// byte-identical either way.
 	Shards int
+	// Topo selects the fabric topology by spec ("single-link",
+	// "fat-tree:k=8", ...; see fabric.ParseTopology). Empty keeps the
+	// cluster's fabric untouched — for the default single-link fabric
+	// that is byte-identical to "single-link".
+	Topo string
 	// Cluster overrides the machine (nil selects two Niagara nodes).
 	Cluster *cluster.Config
 }
@@ -194,6 +200,13 @@ func RunP2P(cfg P2PConfig) (P2PResult, error) {
 		clCfg = *cfg.Cluster
 	}
 	clCfg.Shards = cfg.Shards
+	if cfg.Topo != "" {
+		topo, err := fabric.ParseTopology(cfg.Topo)
+		if err != nil {
+			return P2PResult{}, err
+		}
+		clCfg.Fabric.Topo = topo
+	}
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg, RanksPerNode: ranksPerNode})
 	engines := make([]*core.Engine, 2)
 	for i := range engines {

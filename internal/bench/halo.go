@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -39,6 +40,10 @@ type HaloConfig struct {
 	// shards (see cluster.Config.Shards); 0 or 1 runs serial. Results are
 	// byte-identical either way.
 	Shards int
+	// Topo selects the fabric topology by spec ("single-link",
+	// "fat-tree:k=8", ...; see fabric.ParseTopology). Empty keeps the
+	// default single-link fabric.
+	Topo string
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
 	// Arrival, if non-nil, adds a synthetic per-round, per-thread Pready
@@ -126,6 +131,13 @@ func RunHalo(cfg HaloConfig) (HaloResult, error) {
 	clCfg := cluster.NiagaraConfig(nodes)
 	clCfg.CoresPerNode = cfg.CoresPerNode
 	clCfg.Shards = cfg.Shards
+	if cfg.Topo != "" {
+		topo, err := fabric.ParseTopology(cfg.Topo)
+		if err != nil {
+			return HaloResult{}, err
+		}
+		clCfg.Fabric.Topo = topo
+	}
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
 	engines := make([]*core.Engine, nodes)
 	for i := 0; i < nodes; i++ {

@@ -137,3 +137,88 @@ func TestShardedHaloMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedFatTreeSweepMatchesSerial drives the full MPI stack over a
+// multi-switch fabric: the Sweep3D wavefront on a fat-tree whose 8 hosts
+// exactly fill the topology, serial versus sharded. With a graph
+// topology the shard slabs snap to edge-switch boundaries and every
+// cross-switch message is charged per link, so this pins the per-hop
+// arbitration to the canonical-order discipline end to end — timestamps
+// and final receive-buffer digests must not move.
+func TestShardedFatTreeSweepMatchesSerial(t *testing.T) {
+	base := SweepConfig{
+		GridX:    4,
+		GridY:    2,
+		Threads:  4,
+		Bytes:    256 << 10,
+		Compute:  50 * time.Microsecond,
+		NoisePct: 10,
+		Warmup:   1,
+		Iters:    3,
+		Opts:     core.Options{Strategy: core.StrategyPLogGP},
+		Topo:     "fat-tree:k=4",
+	}
+	serial, err := RunSweep(base)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, shards := range []int{2, 4} {
+		for _, workers := range []int{0, 2} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				cfg := base
+				cfg.Shards = shards
+				cfg.Workers = workers
+				sharded, err := RunSweep(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range serial.IterTimes {
+					if serial.IterTimes[i] != sharded.IterTimes[i] {
+						t.Errorf("iter %d: serial %v != sharded %v", i, serial.IterTimes[i], sharded.IterTimes[i])
+					}
+				}
+				for r := range serial.BufferSums {
+					if serial.BufferSums[r] != sharded.BufferSums[r] {
+						t.Errorf("rank %d: buffer digest serial %#x != sharded %#x", r, serial.BufferSums[r], sharded.BufferSums[r])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedSingleLinkTopoMatchesDefault pins the deprecation shim's
+// parity promise at the bench layer: an explicit -topo single-link run is
+// byte-identical to the default fabric, serial and sharded.
+func TestShardedSingleLinkTopoMatchesDefault(t *testing.T) {
+	base := P2PConfig{
+		Parts:   8,
+		Bytes:   512 << 10,
+		Compute: 100 * time.Microsecond,
+		Warmup:  1,
+		Iters:   4,
+		Opts:    core.Options{Strategy: core.StrategyPLogGP},
+	}
+	def, err := RunP2P(base)
+	if err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	for _, shards := range []int{0, 2} {
+		cfg := base
+		cfg.Topo = "single-link"
+		cfg.Shards = shards
+		got, err := RunP2P(cfg)
+		if err != nil {
+			t.Fatalf("single-link shards=%d: %v", shards, err)
+		}
+		if got.FabricMessages != def.FabricMessages {
+			t.Errorf("shards=%d: fabric messages %d != default %d", shards, got.FabricMessages, def.FabricMessages)
+		}
+		for i := range def.IterTimes {
+			if def.IterTimes[i] != got.IterTimes[i] || def.LastLatency[i] != got.LastLatency[i] {
+				t.Errorf("shards=%d iter %d: (%v, %v) != default (%v, %v)", shards, i,
+					got.IterTimes[i], got.LastLatency[i], def.IterTimes[i], def.LastLatency[i])
+			}
+		}
+	}
+}

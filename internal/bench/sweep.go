@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,6 +44,10 @@ type SweepConfig struct {
 	// Workers sizes the shard worker fleet (≤ 0 selects the default);
 	// ignored for serial runs. Results are independent of the count.
 	Workers int
+	// Topo selects the fabric topology by spec ("single-link",
+	// "fat-tree:k=8", ...; see fabric.ParseTopology). Empty keeps the
+	// default single-link fabric.
+	Topo string
 	// CoresPerNode overrides the node size (zero selects Niagara's 40).
 	CoresPerNode int
 	// Arrival, if non-nil, adds a synthetic per-round, per-thread Pready
@@ -146,6 +151,13 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	clCfg := cluster.NiagaraConfig(nodes)
 	clCfg.CoresPerNode = cfg.CoresPerNode
 	clCfg.Shards = cfg.Shards
+	if cfg.Topo != "" {
+		topo, err := fabric.ParseTopology(cfg.Topo)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		clCfg.Fabric.Topo = topo
+	}
 	w := mpi.NewWorld(mpi.Config{Cluster: clCfg})
 
 	engines := make([]*core.Engine, nodes)

@@ -69,19 +69,36 @@ func (c Config) Validate() error {
 		if la <= 0 {
 			return fmt.Errorf("cluster: %d shards need positive fabric latencies (lookahead is their minimum, got %v)", c.Shards, la)
 		}
-		// The flow pipeline reuses one reservation slot per in-flight
-		// message (fabric.flowMsg): consecutive bursts must be injected
-		// more than the pair wire latency plus the pair lookahead apart so
-		// the previous reservation has fired — in an earlier
-		// synchronization hop — before the slot is rewritten. Full-burst
-		// pacing provides that spacing; reject cost models too fast for
-		// it. With rack topology the slowest pair (both terms widened by
-		// InterRackExtra) sets the requirement.
-		pace := time.Duration(float64(c.Fabric.BurstBytes) * c.Fabric.PerQPByteTime)
-		maxWire := c.Fabric.WireLatency + c.Fabric.InterRackExtra
-		maxLa := la + c.Fabric.InterRackExtra
-		if need := maxWire + maxLa; pace < need {
-			return fmt.Errorf("cluster: sharding needs burst pace %v >= max pair wire latency + max pair lookahead %v; raise BurstBytes or run serial", pace, need)
+		// The flat flow pipeline reuses one reservation slot per
+		// in-flight message (fabric.flowMsg): consecutive bursts must be
+		// injected more than the pair wire latency plus the pair
+		// lookahead apart so the previous reservation has fired — in an
+		// earlier synchronization hop — before the slot is rewritten.
+		// Full-burst pacing provides that spacing; reject cost models
+		// too fast for it. The slowest pair (both terms widened by the
+		// topology's largest pair extra) sets the requirement. Routed
+		// (graph) topologies snapshot every burst into its own hop
+		// record instead of reusing a slot, so they have no pace
+		// constraint.
+		topo := c.Fabric.Topology()
+		if topo.Flat() {
+			maxExtra := c.Fabric.InterRackExtra
+			if c.Fabric.Topo != nil {
+				maxExtra = 0
+				for a := 0; a < c.Nodes; a++ {
+					for b := a + 1; b < c.Nodes; b++ {
+						if x := topo.PairExtra(a, b); x > maxExtra {
+							maxExtra = x
+						}
+					}
+				}
+			}
+			pace := time.Duration(float64(c.Fabric.BurstBytes) * c.Fabric.PerQPByteTime)
+			maxWire := c.Fabric.WireLatency + maxExtra
+			maxLa := la + maxExtra
+			if need := maxWire + maxLa; pace < need {
+				return fmt.Errorf("cluster: sharding needs burst pace %v >= max pair wire latency + max pair lookahead %v; raise BurstBytes or run serial", pace, need)
+			}
 		}
 	}
 	return nil
@@ -139,6 +156,7 @@ func New(cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	topo := cfg.Fabric.Topology()
 	nshard := cfg.Shards
 	if nshard < 1 {
 		nshard = 1
@@ -146,11 +164,25 @@ func New(cfg Config) *Cluster {
 	if nshard > cfg.Nodes {
 		nshard = cfg.Nodes
 	}
+	shardOf := func(node int) int { return node * nshard / cfg.Nodes }
+	if !topo.Flat() {
+		// Shard slabs snap to switch boundaries: every host under one
+		// edge switch (fat-tree) or in one group (dragonfly) lands on
+		// the same shard, so a switch's local traffic — including its
+		// link cursors, owned by in-group hosts — never straddles a
+		// shard boundary. Group numbering is monotone in host ID, so
+		// slabs stay contiguous.
+		groups := topo.GroupOf(cfg.Nodes-1) + 1
+		if nshard > groups {
+			nshard = groups
+		}
+		shardOf = func(node int) int { return topo.GroupOf(node) * nshard / groups }
+	}
 	var set *sim.ShardSet
 	var e *sim.Engine
 	if nshard > 1 {
 		set = sim.NewShardSet(nshard, cfg.Fabric.Lookahead())
-		if m := shardLookaheadMatrix(cfg, nshard); m != nil {
+		if m := shardLookaheadMatrix(cfg, topo, shardOf, nshard); m != nil {
 			set.SetLookaheadMatrix(m)
 		}
 		e = set.Engine(0)
@@ -162,7 +194,7 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Nodes; i++ {
 		ne := e
 		if set != nil {
-			ne = set.Engine(i * nshard / cfg.Nodes)
+			ne = set.Engine(shardOf(i))
 		}
 		c.Nodes = append(c.Nodes, &Node{
 			ID:      i,
@@ -176,42 +208,92 @@ func New(cfg Config) *Cluster {
 }
 
 // shardLookaheadMatrix derives the per-pair shard lookahead matrix from
-// the fabric's rack topology, or returns nil when the topology is flat
-// (no matrix needed — the scalar floor is exact). Shards own contiguous
-// node slabs and HCA ports are created in node order, so port ID equals
-// node ID and each shard covers a contiguous rack range: a shard pair
-// whose rack ranges are disjoint interacts only across racks, and every
-// such interaction carries the inter-rack extra on top of the base
-// latencies — so the pair lookahead widens by exactly that much. Pairs
-// whose rack ranges overlap may contain a same-rack port pair and keep
-// the global floor.
-func shardLookaheadMatrix(cfg Config, nshard int) [][]time.Duration {
-	if cfg.Fabric.RackSize <= 0 || cfg.Fabric.InterRackExtra <= 0 {
-		return nil
-	}
+// the fabric's topology, or returns nil when every entry would equal the
+// scalar floor (no matrix needed — the floor is exact). HCA ports are
+// created in node order, so port ID equals node ID.
+//
+// The entry for a shard pair (s, d) lower-bounds every cross-engine post
+// from s to d:
+//
+//   - Direct interactions (flat flows, control, completions, recycles)
+//     are separated by at least the floor plus the pair's topology
+//     extra; minimizing the extra over the shards' host pairs gives
+//     λ + minExtra(s, d).
+//   - On graph topologies, routed bursts also hop host→link (one wire
+//     latency) and link→link (the in-link's latency); relaxing over the
+//     topology's adjacency tightens the affected shard pairs to those
+//     bounds. Link cursors owned by hosts beyond the node count were
+//     never bound to a port engine and run on shard 0 (the fabric's
+//     engine), so they relax shard 0's rows.
+//
+// Every bound is >= λ (link latencies participate in the floor), so the
+// matrix always satisfies the ShardSet contract.
+func shardLookaheadMatrix(cfg Config, topo *fabric.Topology, shardOf func(int) int, nshard int) [][]time.Duration {
 	la := cfg.Fabric.Lookahead()
-	loRack := make([]int, nshard)
-	hiRack := make([]int, nshard)
-	for s := range loRack {
-		loRack[s] = -1
-	}
-	for i := 0; i < cfg.Nodes; i++ {
-		s := i * nshard / cfg.Nodes
-		r := i / cfg.Fabric.RackSize
-		if loRack[s] < 0 {
-			loRack[s] = r
-		}
-		hiRack[s] = r
-	}
 	m := make([][]time.Duration, nshard)
 	for s := range m {
 		m[s] = make([]time.Duration, nshard)
 		for d := range m[s] {
-			m[s][d] = la
-			if s != d && (hiRack[s] < loRack[d] || hiRack[d] < loRack[s]) {
-				m[s][d] = la + cfg.Fabric.InterRackExtra
+			if s == d {
+				m[s][d] = la
+			} else {
+				m[s][d] = -1 // unset; every pair is filled by the direct pass
 			}
 		}
+	}
+	relax := func(s, d int, v time.Duration) {
+		if s != d && (m[s][d] < 0 || v < m[s][d]) {
+			m[s][d] = v
+		}
+	}
+	for a := 0; a < cfg.Nodes; a++ {
+		sa := shardOf(a)
+		for b := 0; b < cfg.Nodes; b++ {
+			if sb := shardOf(b); sb != sa {
+				relax(sa, sb, la+topo.PairExtra(a, b))
+			}
+		}
+	}
+	if !topo.Flat() {
+		ownerShard := func(l fabric.Link) int {
+			if l.OwnerHost < cfg.Nodes {
+				return shardOf(l.OwnerHost)
+			}
+			return 0
+		}
+		// Host→first-link hops: a burst leaves host h for any link out
+		// of h's adjacent switch one wire latency after injection.
+		adjSwitch := make([]int, topo.Hosts())
+		for i := 0; i < topo.Links(); i++ {
+			if l := topo.LinkAt(i); l.To < topo.Hosts() {
+				adjSwitch[l.To] = l.From
+			}
+		}
+		for i := 0; i < topo.Links(); i++ {
+			l := topo.LinkAt(i)
+			ls := ownerShard(l)
+			for h := 0; h < cfg.Nodes; h++ {
+				if adjSwitch[h] == l.From {
+					relax(shardOf(h), ls, cfg.Fabric.WireLatency)
+				}
+			}
+		}
+		// Link→link hops at each switch, separated by the in-link's
+		// propagation latency.
+		topo.RelayPairs(func(in, out fabric.Link) {
+			relax(ownerShard(in), ownerShard(out), in.Latency)
+		})
+	}
+	flat := true
+	for s := range m {
+		for d := range m[s] {
+			if m[s][d] != la {
+				flat = false
+			}
+		}
+	}
+	if flat {
+		return nil
 	}
 	return m
 }

@@ -40,6 +40,7 @@ func AblationInline(cfg Config) ([]*stats.Table, error) {
 				},
 				Provider: cfg.Provider,
 				Shards:   cfg.Shards,
+				Topo:     cfg.Topo,
 			})
 		}
 	}
@@ -86,6 +87,7 @@ func AblationWindow(cfg Config) ([]*stats.Table, error) {
 				},
 				Provider: cfg.Provider,
 				Shards:   cfg.Shards,
+				Topo:     cfg.Topo,
 			})
 		}
 	}
@@ -131,6 +133,7 @@ func AblationModel(cfg Config) ([]*stats.Table, error) {
 			Opts:     core.Options{Strategy: core.StrategyPLogGP},
 			Provider: cfg.Provider,
 			Shards:   cfg.Shards,
+			Topo:     cfg.Topo,
 		}
 	}
 	results, err := cfg.runP2PGrid(jobs, nil)
@@ -228,6 +231,7 @@ func AblationTimer(cfg Config) ([]*stats.Table, error) {
 			Opts:     opts,
 			Provider: cfg.Provider,
 			Shards:   cfg.Shards,
+			Topo:     cfg.Topo,
 		}
 	}
 	results, err := cfg.runP2PGrid(jobs, nil)

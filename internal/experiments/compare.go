@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/tuning"
+)
+
+// CompareStrategiesExp feeds tuning.CompareStrategies into the experiment
+// registry: it runs the offline brute-force tuning search (the oracle the
+// paper's Figure 8 builds) and then replays every table point under the
+// table-driven static design and under the online adaptive strategy,
+// reporting the latency ratio per point. A ratio near 1.0 means the
+// online strategy recovers the offline oracle's design without the
+// search; below 1.0 it found something the static table cannot express.
+func CompareStrategiesExp(cfg Config) ([]*stats.Table, error) {
+	const parts = 32
+	sizes := sizesPow2(64<<10, 4<<20, parts)
+	if cfg.Quick {
+		sizes = []int{128 << 10, 512 << 10}
+	}
+	cfg.progress("compare-strategies: tuning search for %d partitions", parts)
+	table, err := tuning.Search(tuning.SearchConfig{
+		UserParts: []int{parts},
+		Sizes:     sizes,
+		Warmup:    warmupFor(cfg, 3),
+		Iters:     itersFor(cfg, 10),
+		Workers:   cfg.Jobs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.progress("compare-strategies: replaying %d table points under tuned and adaptive", table.Len())
+	ccfg := tuning.CompareConfig{Workers: cfg.Jobs}
+	if cfg.Quick {
+		ccfg.Warmup, ccfg.Iters = 8, 8
+	}
+	rows, err := tuning.CompareStrategies(table, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(
+		"Online adaptive vs offline tuning-table oracle, 32 user partitions",
+		"size", "tuned (offline oracle)", "adaptive (online)", "ratio", "switches")
+	for _, r := range rows {
+		tb.AddRow(stats.FormatBytes(r.Bytes),
+			time.Duration(r.TunedNs), time.Duration(r.AdaptiveNs),
+			r.Ratio, r.Switches)
+	}
+	return []*stats.Table{tb}, nil
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// cluster.Config.Shards). Zero or 1 runs serial. Tables are
 	// byte-identical for any value.
 	Shards int
+	// Topo selects the fabric topology by spec for every benchmark run
+	// ("single-link", "fat-tree:k=8", ...; see fabric.ParseTopology).
+	// Empty keeps the default single-link fabric — byte-identical to
+	// "single-link" by construction.
+	Topo string
 }
 
 func (c Config) progress(format string, args ...any) {
@@ -81,6 +86,7 @@ var registry = []struct {
 	{"halo", "Extension: halo-exchange communication speedup (the suite's other pattern)", Halo},
 	{"ablation-layered", "Ablation: layered (MPIPCL-style) vs in-library persistent baseline", AblationLayered},
 	{"ablation-adaptive", "Ablation: adaptive strategy vs each static design across arrival patterns", AblationAdaptive},
+	{"compare-strategies", "Online adaptive strategy vs the offline tuning-table oracle, per table point", CompareStrategiesExp},
 }
 
 // Names lists experiment ids in paper order.
@@ -228,7 +234,7 @@ func overheadConfig(cfg Config, parts, size int, opts core.Options) bench.P2PCon
 	warmup, iters := cfg.iterCounts()
 	return bench.P2PConfig{
 		Parts: parts, Bytes: size, Warmup: warmup, Iters: iters,
-		Opts: opts, Provider: cfg.Provider, Shards: cfg.Shards,
+		Opts: opts, Provider: cfg.Provider, Shards: cfg.Shards, Topo: cfg.Topo,
 	}
 }
 
@@ -415,6 +421,7 @@ func perceivedConfig(cfg Config, parts, size int, opts core.Options) bench.P2PCo
 		Opts:            opts,
 		Provider:        cfg.Provider,
 		Shards:          cfg.Shards,
+		Topo:            cfg.Topo,
 	}
 }
 
@@ -647,6 +654,7 @@ func Fig14(cfg Config) ([]*stats.Table, error) {
 					Opts:     opts,
 					Provider: cfg.Provider,
 					Shards:   cfg.Shards,
+					Topo:     cfg.Topo,
 				})
 			}
 		}

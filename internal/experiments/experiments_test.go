@@ -9,7 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "table1", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14",
 		"ablation-inline", "ablation-window", "ablation-model", "ablation-timer", "halo",
-		"ablation-layered", "ablation-adaptive"}
+		"ablation-layered", "ablation-adaptive", "compare-strategies"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(names), len(want))

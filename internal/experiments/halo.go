@@ -44,6 +44,7 @@ func Halo(cfg Config) ([]*stats.Table, error) {
 				Opts:     opts,
 				Provider: cfg.Provider,
 				Shards:   cfg.Shards,
+				Topo:     cfg.Topo,
 			})
 		}
 	}

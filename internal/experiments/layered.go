@@ -45,6 +45,7 @@ func AblationLayered(cfg Config) ([]*stats.Table, error) {
 				Opts:     core.Options{Strategy: core.StrategyBaseline},
 				Provider: cfg.Provider,
 				Shards:   cfg.Shards,
+				Topo:     cfg.Topo,
 			})
 			if err != nil {
 				return pair{}, err

@@ -29,6 +29,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/loggp"
@@ -79,7 +80,19 @@ type Config struct {
 	// the aggregation level of the switch hierarchy. Zero keeps the
 	// fabric a flat single-switch network, byte-identical to the model
 	// before racks existed.
+	//
+	// Deprecated: RackSize/InterRackExtra are a shim over Topo — they
+	// build the equivalent flat two-level Topology internally. New code
+	// should set Topo (TwoLevel gives the identical model). Setting both
+	// is a Validate error.
 	InterRackExtra time.Duration
+	// Topo selects the interconnect topology. nil means the single
+	// shared link the fabric always modelled (or, when the legacy rack
+	// fields are set, the equivalent two-level topology). Flat
+	// topologies only reshape pair latencies; graph topologies
+	// (fat-tree, dragonfly) add per-link serialization cursors so
+	// routed flows genuinely contend. See topology.go.
+	Topo *Topology
 }
 
 // DefaultConfig returns an EDR-InfiniBand-like cost model: ~11.7 GB/s link,
@@ -126,8 +139,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fabric: negative InterRackExtra")
 	case c.InterRackExtra > 0 && c.RackSize == 0:
 		return fmt.Errorf("fabric: InterRackExtra %v needs RackSize > 0", c.InterRackExtra)
+	case c.Topo != nil && (c.RackSize > 0 || c.InterRackExtra > 0):
+		return fmt.Errorf("fabric: Topo %q and legacy RackSize/InterRackExtra are mutually exclusive (the rack fields are a two-level topology shim; set one or the other)", c.Topo.Name())
 	}
-	return nil
+	return c.Topo.validate()
 }
 
 // LinkBandwidth returns the shared-link bandwidth in bytes per second.
@@ -138,9 +153,11 @@ func (c Config) LinkBandwidth() float64 { return 1e9 / c.LinkByteTime }
 // port-to-port effect in this package (burst arrival, completion,
 // control delivery) is separated from its cause by at least this much
 // virtual time, so it is a sound conservative-PDES lookahead bound for
-// sharding the simulation along port boundaries (sim.ShardSet). With rack
-// topology enabled it is the global floor; PairLookahead gives the wider
-// per-pair bound.
+// sharding the simulation along port boundaries (sim.ShardSet). With a
+// multi-hop topology it additionally includes the smallest link latency,
+// since routed bursts also hop between link cursors; with a flat topology
+// (or the legacy rack fields) it is unchanged from the single-link model.
+// PairLookahead gives the wider per-pair bound.
 func (c Config) Lookahead() time.Duration {
 	l := c.WireLatency
 	if c.AckLatency < l {
@@ -149,35 +166,40 @@ func (c Config) Lookahead() time.Duration {
 	if c.CtrlLatency < l {
 		l = c.CtrlLatency
 	}
+	if c.Topo != nil && !c.Topo.Flat() {
+		if ml := c.Topo.MinLinkLatency(); ml < l {
+			l = ml
+		}
+	}
 	return l
 }
 
-// rackOf returns the rack index of a port ID (0 when rack topology is
-// disabled).
-func (c Config) rackOf(id int) int {
-	if c.RackSize <= 0 {
-		return 0
+// Topology resolves the configured topology: Topo when set, the flat
+// two-level shim when the legacy rack fields are set, the single shared
+// link otherwise. The returned copy is stamped with the config's wire
+// latency so PairLatency is complete.
+func (c Config) Topology() *Topology {
+	t := c.Topo
+	switch {
+	case t != nil:
+	case c.RackSize > 0:
+		t = TwoLevel(c.RackSize, c.InterRackExtra)
+	default:
+		t = SingleLink()
 	}
-	return id / c.RackSize
-}
-
-// pairExtra returns the extra one-way latency between two port IDs: zero
-// within a rack, InterRackExtra across racks. It is symmetric.
-//partib:hotpath
-func (c Config) pairExtra(a, b int) time.Duration {
-	if c.RackSize <= 0 || a/c.RackSize == b/c.RackSize {
-		return 0
-	}
-	return c.InterRackExtra
+	r := *t
+	r.baseWire = c.WireLatency
+	return &r
 }
 
 // PairLookahead returns the smallest interaction latency between two
-// specific ports: the global floor plus the pair's inter-rack extra.
-// Every effect the fabric schedules from port a onto port b's engine is
-// at least this far in the future, so it is a sound per-pair
-// conservative-PDES lookahead (sim.ShardSet.SetLookaheadMatrix).
+// specific ports: the global floor plus the pair's topology extra
+// (inter-rack extra in the legacy model, shortest-path link latencies in
+// a graph topology). Every effect the fabric schedules from port a onto
+// port b's engine is at least this far in the future, so it is a sound
+// per-pair conservative-PDES lookahead (sim.ShardSet.SetLookaheadMatrix).
 func (c Config) PairLookahead(a, b int) time.Duration {
-	return c.Lookahead() + c.pairExtra(a, b)
+	return c.Lookahead() + c.Topology().PairExtra(a, b)
 }
 
 // TrueParams expresses the fabric's own costs as a LogGP parameter set
@@ -201,7 +223,15 @@ func (c Config) TrueParams() loggp.Params {
 type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
+	topo  *Topology
 	ports []*Port
+
+	// links are the graph topology's serialization cursors (empty for
+	// flat topologies). ownerLinks maps a host ID to the links whose
+	// cursor its engine owns, so NewPortOn can bind engines; unbound
+	// links (hosts beyond the port count) stay on the fabric's engine.
+	links      []linkState
+	ownerLinks map[int][]int
 }
 
 // New creates a fabric on the engine. It panics on invalid configuration
@@ -210,7 +240,21 @@ func New(e *sim.Engine, cfg Config) *Fabric {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Fabric{eng: e, cfg: cfg}
+	f := &Fabric{eng: e, cfg: cfg, topo: cfg.Topology()}
+	if t := f.topo; !t.Flat() {
+		f.links = make([]linkState, t.Links())
+		f.ownerLinks = make(map[int][]int)
+		for i := range f.links {
+			link := t.LinkAt(i)
+			bt := link.ByteTime
+			if bt == 0 {
+				bt = cfg.LinkByteTime
+			}
+			f.links[i] = linkState{link: link, eng: e, lat: link.Latency, byteTime: bt}
+			f.ownerLinks[link.OwnerHost] = append(f.ownerLinks[link.OwnerHost], i)
+		}
+	}
+	return f
 }
 
 // Engine returns the simulation engine.
@@ -218,6 +262,9 @@ func (f *Fabric) Engine() *sim.Engine { return f.eng }
 
 // Config returns the cost model.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// Topology returns the resolved topology the fabric was built with.
+func (f *Fabric) Topology() *Topology { return f.topo }
 
 // Port is one network endpoint (one HCA's link). Each port is owned by
 // one engine (its shard): egress state is touched only by flows sending
@@ -268,9 +315,19 @@ func (f *Fabric) NewPort(name string) *Port {
 
 // NewPortOn adds an endpoint owned by engine e — the shard on which all
 // of the port's arrival-side events run. e must be the fabric's engine or
-// a shard of the same ShardSet.
+// a shard of the same ShardSet. With a graph topology the port's ID must
+// fit the topology's host count, and the link cursors the host owns
+// (its down link, plus any switch links assigned to it) are bound to e.
+// Ports are created before the simulation runs (or on a single engine),
+// so the binding is race-free.
 func (f *Fabric) NewPortOn(e *sim.Engine, name string) *Port {
 	p := &Port{fab: f, eng: e, id: len(f.ports), name: name}
+	if h := f.topo.Hosts(); h > 0 && p.id >= h {
+		panic(fmt.Sprintf("fabric: port %d exceeds topology %q host capacity %d", p.id, f.topo.Name(), h))
+	}
+	for _, li := range f.ownerLinks[p.id] {
+		f.links[li].eng = e
+	}
 	f.ports = append(f.ports, p)
 	return p
 }
@@ -362,7 +419,7 @@ func (p *Port) SendControl(dst *Port, payload any) {
 		cd = new(ctrlDelivery)
 	}
 	cd.src, cd.dst, cd.payload = p, dst, payload
-	lat := p.fab.cfg.CtrlLatency + p.fab.cfg.pairExtra(p.id, dst.id)
+	lat := p.fab.cfg.CtrlLatency + p.fab.topo.PairExtra(p.id, dst.id)
 	e.Post(dst.eng, e.Now().Add(lat), fireCtrlArrive, cd)
 }
 
@@ -414,11 +471,24 @@ type Flow struct {
 	// Pair latencies, precomputed at NewFlow so the per-burst hot path
 	// does no topology arithmetic: the forward wire latency src→dst, the
 	// return ack latency dst→src, and the return release gap (the pair
-	// lookahead), each including the inter-rack extra when the endpoints
-	// sit in different racks.
+	// lookahead), each including the topology's pair extra (inter-rack,
+	// or route latency) when the endpoints are not adjacent. On a routed
+	// flow wireLat covers only host injection (the per-link latencies
+	// are charged hop by hop), while ackLat/relLat still span the whole
+	// return path.
 	wireLat time.Duration
 	ackLat  time.Duration
 	relLat  time.Duration
+
+	// Routed-topology state (nil/zero on flat topologies). route is the
+	// flow's hash-selected link path, fixed at creation; flowID is the
+	// caller-chosen identity that seeded the path hash and breaks
+	// canonical-order ties between flows sharing a (src, dst) pair.
+	// hopFree recycles hop reservations; it is touched only on the
+	// source engine (take in step, return via fireHopRecycle).
+	route   []*linkState
+	flowID  uint64
+	hopFree []*hopResv
 }
 
 // flowMsg is the in-flight state of one message. It doubles as the
@@ -457,21 +527,48 @@ func fireFlowAck(_ sim.Time, arg any)     { arg.(*flowMsg).ack() }
 //partib:hotpath
 func fireFlowRelease(_ sim.Time, arg any) { fm := arg.(*flowMsg); fm.fl.release(fm) }
 
-// NewFlow creates a flow from src to dst. Loopback (src == dst) is allowed.
+// NewFlow creates a flow from src to dst with flow identity 0. Loopback
+// (src == dst) is allowed. On graph topologies, callers multiplexing
+// several flows over one (src, dst) pair should use NewFlowID with
+// distinct identities so the flows hash onto distinct equal-cost paths
+// and order deterministically.
 func (f *Fabric) NewFlow(src, dst *Port) *Flow {
+	return f.NewFlowID(src, dst, 0)
+}
+
+// NewFlowID creates a flow from src to dst with an explicit flow
+// identity. The identity seeds the deterministic ECMP path hash on graph
+// topologies — distinct identities between one host pair spread across
+// the equal-cost paths the way distinct QPs multipath on a real fabric —
+// and breaks canonical arbitration ties between flows sharing a (src,
+// dst) pair. It must be unique per (src, dst, direction) for the
+// arbitration order to be total; the verbs layer derives it from the
+// queue-pair number. Must be called before the simulation runs or on the
+// source port's engine.
+func (f *Fabric) NewFlowID(src, dst *Port, flowID uint64) *Flow {
 	if src == nil || dst == nil {
 		panic("fabric: NewFlow with nil port")
 	}
 	if src.fab != f || dst.fab != f {
 		panic("fabric: NewFlow ports belong to a different fabric")
 	}
-	extra := f.cfg.pairExtra(src.id, dst.id)
-	return &Flow{
-		fab: f, eng: src.eng, src: src, dst: dst,
+	extra := f.topo.PairExtra(src.id, dst.id)
+	fl := &Flow{
+		fab: f, eng: src.eng, src: src, dst: dst, flowID: flowID,
 		wireLat: f.cfg.WireLatency + extra,
 		ackLat:  f.cfg.AckLatency + extra,
 		relLat:  f.cfg.Lookahead() + extra,
 	}
+	if ids := f.topo.Route(src.id, dst.id, flowID); ids != nil {
+		fl.route = make([]*linkState, len(ids))
+		for i, id := range ids {
+			fl.route[i] = &f.links[id]
+		}
+		// Hop latencies are charged per link; injection pays only the
+		// host's wire latency.
+		fl.wireLat = f.cfg.WireLatency
+	}
+	return fl
 }
 
 // Src returns the sending port.
@@ -574,9 +671,26 @@ func (fl *Flow) step() {
 	}
 
 	fm.remaining -= burst
-	fm.resvArrive = egressEnd.Add(fl.wireLat)
-	fm.resvFinal = fm.remaining == 0
-	e.Post(fl.dst.eng, e.Now().Add(fl.wireLat), fireIngressResv, fm)
+	if fl.route != nil {
+		// Routed topology: the burst hops link cursor to link cursor
+		// instead of reserving the destination's ingress. The hop record
+		// snapshots everything the downstream flushes need, so the
+		// flowMsg's single reservation slot is not involved and the
+		// per-burst pace constraint the flat model needs does not apply.
+		hr := fl.takeHop()
+		hr.arrive = egressEnd.Add(fl.wireLat)
+		hr.wireBytes = int32(wireBytes)
+		hr.hop = 0
+		hr.final = fm.remaining == 0
+		if hr.final {
+			hr.fm = fm
+		}
+		e.Post(fl.route[0].eng, e.Now().Add(fl.wireLat), fireLinkResv, hr)
+	} else {
+		fm.resvArrive = egressEnd.Add(fl.wireLat)
+		fm.resvFinal = fm.remaining == 0
+		e.Post(fl.dst.eng, e.Now().Add(fl.wireLat), fireIngressResv, fm)
+	}
 
 	if fm.remaining > 0 {
 		e.AtCall(fl.paceFreeAt, fireFlowStep, fl)
@@ -735,4 +849,260 @@ func (fm *flowMsg) ack() {
 	fn, at := fm.msg.OnAck, fm.ackAt
 	fm.fl.release(fm)
 	fn(at)
+}
+
+// linkState is the serialization cursor of one graph-topology link. Each
+// burst crossing the link is charged wireBytes*byteTime on the cursor in
+// canonical order, then propagates for the link latency toward the next
+// hop — the per-link LogGP {latency, byteTime} pair. All fields are owned
+// by eng (the engine of the link's OwnerHost).
+type linkState struct {
+	link     Link
+	eng      *sim.Engine
+	lat      time.Duration
+	byteTime float64 // resolved: Link.ByteTime or Config.LinkByteTime
+
+	freeAt sim.Time
+	// pending batches hop reservations that fired at the same virtual
+	// instant so the cursor can charge them in canonical (arrival bound,
+	// source, destination, flow) order one nanosecond later — the same
+	// discipline as the port ingress batch (fireIngressResv), for the
+	// same reason: event order at a timestamp tie depends on the shard
+	// layout, the canonical order does not. flushAt is the instant of
+	// the scheduled flush (at most one per instant).
+	pending []*hopResv
+	flushAt sim.Time
+
+	// Statistics (owned by eng; read after the run).
+	busy      time.Duration
+	bytes     int64
+	charges   int64
+	maxQueue  time.Duration
+	queueHist [queueHistBuckets]int64
+}
+
+// queueHistBuckets sizes the log2 queueing-delay histogram: bucket 0
+// counts zero-delay charges, bucket b >= 1 counts delays in
+// [2^(b-1), 2^b) nanoseconds; 40 buckets span past 18 virtual minutes.
+const queueHistBuckets = 40
+
+//partib:hotpath
+func queueHistBucket(d time.Duration) int {
+	b := bits.Len64(uint64(d))
+	if b >= queueHistBuckets {
+		b = queueHistBuckets - 1
+	}
+	return b
+}
+
+// LinkStats is the observable state of one link cursor after a run: how
+// many bytes it carried, how long it was busy serializing, and the
+// queueing-delay distribution its contention produced.
+type LinkStats struct {
+	Link     Link
+	Bytes    int64
+	Charges  int64
+	Busy     time.Duration
+	MaxQueue time.Duration
+	// QueueHist[0] counts charges that waited zero time for the cursor;
+	// QueueHist[b] (b >= 1) counts queueing delays in [2^(b-1), 2^b) ns.
+	QueueHist [queueHistBuckets]int64
+}
+
+// QueuePercentile returns an upper bound on the p-quantile (0 < p <= 1)
+// of the link's queueing delay, read from the log2 histogram: exact for
+// zero delays, within 2x above.
+func (s *LinkStats) QueuePercentile(p float64) time.Duration {
+	if s.Charges == 0 {
+		return 0
+	}
+	rank := int64(p * float64(s.Charges))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range s.QueueHist {
+		cum += c
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			up := time.Duration(1) << uint(b)
+			if up > s.MaxQueue {
+				up = s.MaxQueue
+			}
+			return up
+		}
+	}
+	return s.MaxQueue
+}
+
+// LinkStats returns a snapshot of every link cursor's statistics (empty
+// for flat topologies). Call it after the simulation has stopped.
+func (f *Fabric) LinkStats() []LinkStats {
+	out := make([]LinkStats, len(f.links))
+	for i := range f.links {
+		l := &f.links[i]
+		out[i] = LinkStats{
+			Link: l.link, Bytes: l.bytes, Charges: l.charges,
+			Busy: l.busy, MaxQueue: l.maxQueue, QueueHist: l.queueHist,
+		}
+	}
+	return out
+}
+
+// hopResv is one burst traversing a routed flow's link path. It
+// snapshots everything the downstream link cursors need (the flowMsg's
+// single reservation slot is never involved), hops cursor to cursor, and
+// is recycled to the source engine's free list after the last hop. fm is
+// set only on a message's final burst.
+type hopResv struct {
+	at        sim.Time // reservation fire instant at the current link (batch key)
+	arrive    sim.Time // arrival lower bound at the current link's cursor
+	wireBytes int32
+	hop       int32
+	final     bool
+	fl        *Flow
+	fm        *flowMsg
+}
+
+// takeHop pops a hop reservation from the flow's free list. Runs on the
+// source engine (from step).
+//partib:hotpath
+func (fl *Flow) takeHop() *hopResv {
+	if n := len(fl.hopFree); n > 0 {
+		hr := fl.hopFree[n-1]
+		fl.hopFree[n-1] = nil
+		fl.hopFree = fl.hopFree[:n-1]
+		return hr
+	}
+	return &hopResv{fl: fl} //partlint:allow hotpathalloc free-list miss; steady state recycles
+}
+
+// hopBefore is the canonical link-charge order within one instant's
+// batch: earlier arrival bound first, then source port, destination
+// port, and flow identity. Distinct flows never compare equal (the
+// identity is unique per pair and direction), and equal keys — burst
+// pairs of one flow — keep their FIFO order because the insertion sort
+// is stable and per-flow hops arrive in injection order.
+//partib:hotpath
+func hopBefore(a, b *hopResv) bool {
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
+	}
+	af, bf := a.fl, b.fl
+	if af.src.id != bf.src.id {
+		return af.src.id < bf.src.id
+	}
+	if af.dst.id != bf.dst.id {
+		return af.dst.id < bf.dst.id
+	}
+	return af.flowID < bf.flowID
+}
+
+// fireLinkResv runs on a link's engine when a burst reaches the link. As
+// with port ingress, the cursor is not charged here: reservations from
+// different flows can fire at the same virtual instant in
+// shard-layout-dependent event order, so the reservation joins the
+// link's pending batch and a flush one nanosecond later charges the
+// whole instant's batch in canonical order.
+//partib:hotpath
+func fireLinkResv(at sim.Time, arg any) {
+	hr := arg.(*hopResv)
+	l := hr.fl.route[hr.hop]
+	hr.at = at
+	l.pending = append(l.pending, hr) //partlint:allow hotpathalloc amortized; batch buffer is reused
+	if flushAt := at + 1; l.flushAt < flushAt {
+		l.flushAt = flushAt
+		l.eng.AtCall(flushAt, fireLinkFlush, l)
+	}
+}
+
+// fireLinkFlush charges the previous instant's batch on the link cursor
+// in canonical order. Only entries that fired strictly before this flush
+// are processed (each entry's own flush runs one nanosecond after it
+// fired, and engine events fire in time order, so every processed entry
+// fired exactly one nanosecond ago).
+//partib:hotpath
+func fireLinkFlush(now sim.Time, arg any) {
+	l := arg.(*linkState)
+	pending := l.pending
+	n := 0
+	for n < len(pending) && pending[n].at < now {
+		n++
+	}
+	batch := pending[:n]
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && hopBefore(batch[j], batch[j-1]); j-- {
+			batch[j], batch[j-1] = batch[j-1], batch[j]
+		}
+	}
+	for _, hr := range batch {
+		l.charge(now, hr)
+	}
+	kept := copy(pending, pending[n:])
+	for i := kept; i < len(pending); i++ {
+		pending[i] = nil
+	}
+	l.pending = pending[:kept]
+}
+
+// charge serializes one burst onto the link and forwards it: to the next
+// link's batch one link latency ahead, or — after the final (down) link —
+// onto the destination host, scheduling delivery and routing the
+// completion or recycle back to the source exactly as the flat pipeline
+// does. Every cross-engine post is at least one link latency (next hop)
+// or one pair lookahead (return path) in the future, so the hops stay
+// conservative under the cluster's topology lookahead matrix.
+//partib:hotpath
+func (l *linkState) charge(now sim.Time, hr *hopResv) {
+	start := hr.arrive
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	tx := time.Duration(float64(hr.wireBytes) * l.byteTime)
+	end := start.Add(tx)
+	l.freeAt = end
+
+	l.busy += tx
+	l.bytes += int64(hr.wireBytes)
+	l.charges++
+	qd := time.Duration(start - hr.arrive)
+	if qd > l.maxQueue {
+		l.maxQueue = qd
+	}
+	l.queueHist[queueHistBucket(qd)]++
+
+	fl := hr.fl
+	hr.arrive = end.Add(l.lat)
+	hr.hop++
+	if int(hr.hop) < len(fl.route) {
+		l.eng.Post(fl.route[hr.hop].eng, now.Add(l.lat), fireLinkResv, hr)
+		return
+	}
+	// Last hop: the burst has crossed the destination's down link. The
+	// down link's cursor is owned by the destination host's engine, so
+	// delivery is a local event.
+	if hr.final {
+		fm := hr.fm
+		fm.lastArrival = hr.arrive
+		l.eng.AtCall(hr.arrive, fireFlowDeliver, fm)
+		if fm.msg.OnAck != nil {
+			fm.ackAt = hr.arrive.Add(fl.ackLat)
+			l.eng.Post(fl.eng, fm.ackAt, fireFlowAck, fm)
+		} else {
+			l.eng.Post(fl.eng, hr.arrive.Add(fl.relLat), fireFlowRelease, fm)
+		}
+	}
+	l.eng.Post(fl.eng, now.Add(fl.relLat), fireHopRecycle, hr)
+}
+
+// fireHopRecycle returns a spent hop reservation to its flow's free list
+// on the source engine.
+//partib:hotpath
+func fireHopRecycle(_ sim.Time, arg any) {
+	hr := arg.(*hopResv)
+	fl := hr.fl
+	hr.fm = nil
+	fl.hopFree = append(fl.hopFree, hr) //partlint:allow hotpathalloc amortized free-list growth
 }

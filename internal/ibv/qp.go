@@ -253,8 +253,14 @@ func (qp *QP) ToRTS() error {
 	}
 	src := qp.pd.ctx.hca.port
 	dst := qp.remote.pd.ctx.hca.port
-	qp.flow = src.Fabric().NewFlow(src, dst)
-	qp.readFlow = src.Fabric().NewFlow(dst, src)
+	// Flow identities are derived from the local QPN: even for the send
+	// direction, odd for the RDMA-READ response direction. The peer's
+	// own flows use its QPN with the opposite parity trick on its side,
+	// so every flow between a port pair carries a distinct identity —
+	// which both spreads QPs across equal-cost topology paths (ECMP by
+	// flow hash) and keeps link-arbitration tie-breaks total.
+	qp.flow = src.Fabric().NewFlowID(src, dst, uint64(qp.qpn)*2)
+	qp.readFlow = src.Fabric().NewFlowID(dst, src, uint64(qp.qpn)*2+1)
 	qp.state = StateRTS
 	return nil
 }
