@@ -53,8 +53,23 @@ type vetConfig struct {
 	GoVersion                 string
 }
 
+// jsonDiag is the machine-readable diagnostic record printed in JSON
+// mode, one object per line (JSON Lines).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
 func main() {
+	// `go vet -vettool` offers no way to pass tool flags through, so JSON
+	// mode is an environment switch for that path; the -json flag covers
+	// direct invocations on a vet.cfg.
+	jsonMode := os.Getenv("PARTLINT_JSON") == "1"
 	args := os.Args[1:]
+	rest := args[:0:0]
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "--V=full":
@@ -63,10 +78,15 @@ func main() {
 		case a == "-flags" || a == "--flags":
 			fmt.Println("[]")
 			return
+		case a == "-json" || a == "--json":
+			jsonMode = true
+		default:
+			rest = append(rest, a)
 		}
 	}
+	args = rest
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		fmt.Fprintln(os.Stderr, "usage: partlint [-V=full | -flags | vet.cfg]")
+		fmt.Fprintln(os.Stderr, "usage: partlint [-V=full | -flags | [-json] vet.cfg]")
 		fmt.Fprintln(os.Stderr, "partlint is a go vet tool; run it via: go vet -vettool=$(command -v partlint) ./...")
 		os.Exit(2)
 	}
@@ -75,10 +95,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "partlint: %v\n", err)
 		os.Exit(1)
 	}
-	if len(diags) > 0 {
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	failing := 0
+	for _, d := range diags {
+		if !d.Waived {
+			failing++
 		}
+	}
+	if jsonMode {
+		// JSON mode reports waived findings too (flagged), so dashboards
+		// can track the waiver population; only non-waived ones fail.
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			enc.Encode(jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Analyzer: d.Analyzer, Message: d.Message, Waived: d.Waived})
+		}
+	} else {
+		for _, d := range diags {
+			if !d.Waived {
+				fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+			}
+		}
+	}
+	if failing > 0 {
 		os.Exit(2)
 	}
 }
@@ -145,6 +182,9 @@ func checkUnit(cfgPath string) ([]analysis.Diagnostic, error) {
 			continue
 		}
 		pass := analysis.NewPass(c.Analyzer, fset, files, pkg, info, cfg.ImportPath, depFacts[c.Analyzer.Name])
+		// Every pass sees the full fact table so waiverhygiene can replay
+		// its siblings with the facts they really ran under.
+		pass.AllDepFacts = depFacts
 		if err := c.Analyzer.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", c.Analyzer.Name, cfg.ImportPath, err)
 		}
@@ -152,7 +192,7 @@ func checkUnit(cfgPath string) ([]analysis.Diagnostic, error) {
 			exported[c.Analyzer.Name] = *pass.ExportFacts
 		}
 		if !cfg.VetxOnly {
-			diags = append(diags, pass.Diagnostics()...)
+			diags = append(diags, pass.AllDiagnostics()...)
 		}
 	}
 	if err := writeVetx(cfg.VetxOutput, exported); err != nil {

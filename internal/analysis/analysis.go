@@ -36,17 +36,49 @@ type Analyzer struct {
 type Diagnostic struct {
 	Pos     token.Position
 	Message string
+	// Analyzer names the check that produced the finding (set by Reportf
+	// from the pass's analyzer).
+	Analyzer string
+	// Waived marks findings suppressed by a `//partlint:allow` comment.
+	// Diagnostics() drops them; AllDiagnostics() keeps them, for the JSON
+	// output mode and the waiverhygiene analyzer.
+	Waived bool
 }
 
-// ImportFacts is the per-package fact the xportgate analyzer exports:
-// for each forbidden backend package this package transitively reaches
-// (without passing through a sanctioned boundary), the import chain that
-// reaches it. Facts serialize as JSON into the vetx files `go vet`
-// threads between dependent packages.
+// FuncFact is the cross-package summary of one exported function or
+// method, computed bottom-up over the import DAG by the interprocedural
+// analyzers. Methods are keyed "Type.Method", plain functions "Func".
+type FuncFact struct {
+	// Allocates records that calling the function performs an
+	// allocation-inducing construct (directly or through its callees),
+	// outside any //partib:hotpath or //partib:coldpath annotation and not
+	// waived in place. AllocWhat describes the first such site.
+	Allocates bool   `json:"allocates,omitempty"`
+	AllocWhat string `json:"allocWhat,omitempty"`
+	// Taints records that the function's results carry nondeterminism
+	// (wall-clock reads, math/rand, map-iteration order) picked up inside
+	// its body or its callees. TaintWhat names the source.
+	Taints    bool   `json:"taints,omitempty"`
+	TaintWhat string `json:"taintWhat,omitempty"`
+	// Sinks records that calling the function (transitively) reaches a
+	// scheduling or emission sink, so invoking it under nondeterministic
+	// iteration order is an ordered emission. SinkParams lists parameter
+	// indexes whose values flow into a sink argument.
+	Sinks      bool  `json:"sinks,omitempty"`
+	SinkParams []int `json:"sinkParams,omitempty"`
+}
+
+// ImportFacts is the per-package fact an analyzer exports to its
+// dependents, serialized as JSON into the vetx files `go vet` threads
+// between dependent packages. xportgate uses Reaches; the interprocedural
+// analyzers (hotpathalloc, detertaint) use Funcs.
 type ImportFacts struct {
 	// Reaches maps a forbidden import path to the chain of import paths
 	// leading to it, starting with this package's direct import.
 	Reaches map[string][]string `json:"reaches,omitempty"`
+	// Funcs maps exported function keys ("Func" or "Type.Method") to
+	// their interprocedural summaries.
+	Funcs map[string]FuncFact `json:"funcs,omitempty"`
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -61,17 +93,24 @@ type Pass struct {
 	// scope rules match against).
 	ImportPath string
 
-	// DepFacts holds the ImportFacts of dependency packages, keyed by
-	// source-level import path. Only populated for analyzers that declare
-	// NeedsFacts in the registry; absent entries mean the dependency
-	// exported no facts.
+	// DepFacts holds the ImportFacts of dependency packages for this
+	// pass's own analyzer, keyed by source-level import path; absent
+	// entries mean the dependency exported no facts.
 	DepFacts map[string]ImportFacts
+
+	// AllDepFacts holds every analyzer's dependency facts, keyed by
+	// analyzer name then dependency import path. Drivers populate it so
+	// waiverhygiene can replay sibling analyzers with their real facts;
+	// DepFacts is AllDepFacts[Analyzer.Name] when both are set.
+	AllDepFacts map[string]map[string]ImportFacts
 
 	// ExportFacts, when set by the analyzer, is persisted by the driver
 	// for dependent packages' passes.
 	ExportFacts *ImportFacts
 
-	// diags collects findings; waived lines are dropped at report time.
+	// diags collects findings; waived lines are kept but marked, so the
+	// default Diagnostics() drops them while AllDiagnostics() (JSON mode,
+	// waiverhygiene) sees everything.
 	diags  []Diagnostic
 	waived map[string]map[int]bool // filename -> line -> waived
 }
@@ -117,18 +156,54 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 	return p
 }
 
-// Reportf records a finding at pos unless the line carries a
-// `//partlint:allow` waiver for this analyzer.
+// Reportf records a finding at pos. A `//partlint:allow` waiver for this
+// analyzer on the line marks the finding waived instead of dropping it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	d := Diagnostic{Pos: position, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name}
 	if m := p.waived[position.Filename]; m != nil && m[position.Line] {
-		return
+		d.Waived = true
 	}
-	p.diags = append(p.diags, Diagnostic{Pos: position, Message: fmt.Sprintf(format, args...)})
+	p.diags = append(p.diags, d)
 }
 
-// Diagnostics returns the findings in file/line order.
+// ReportfUnwaivable records a finding that `//partlint:allow` cannot
+// suppress. waiverhygiene reports through it so a stale waiver cannot
+// hide the very diagnostic that flags it.
+func (p *Pass) ReportfUnwaivable(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// WaivedAt reports whether a finding at pos would be suppressed by a
+// `//partlint:allow` waiver for this analyzer. Interprocedural summary
+// builders use it to keep waived allocation/taint sites out of the facts
+// they export — a waiver accepts the site for callers too.
+func (p *Pass) WaivedAt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	m := p.waived[position.Filename]
+	return m != nil && m[position.Line]
+}
+
+// Diagnostics returns the non-waived findings in file/line order.
 func (p *Pass) Diagnostics() []Diagnostic {
+	p.sortDiags()
+	out := p.diags[:0:0]
+	for _, d := range p.diags {
+		if !d.Waived {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllDiagnostics returns every finding, waived ones included, in
+// file/line order.
+func (p *Pass) AllDiagnostics() []Diagnostic {
+	p.sortDiags()
+	return p.diags
+}
+
+func (p *Pass) sortDiags() {
 	sort.Slice(p.diags, func(i, j int) bool {
 		a, b := p.diags[i].Pos, p.diags[j].Pos
 		if a.Filename != b.Filename {
@@ -139,7 +214,43 @@ func (p *Pass) Diagnostics() []Diagnostic {
 		}
 		return a.Column < b.Column
 	})
-	return p.diags
+}
+
+// WaiverSite is one `//partlint:allow` comment in the package's files.
+type WaiverSite struct {
+	File string
+	Line int
+	// Analyzer is the name the waiver targets ("all" covers the suite).
+	Analyzer string
+	Pos      token.Pos
+}
+
+// Waivers lists every `//partlint:allow` comment in the pass's non-test
+// files, regardless of which analyzer it names. waiverhygiene matches
+// them against replayed sibling diagnostics to find stale waivers.
+func (p *Pass) Waivers() []WaiverSite {
+	var out []WaiverSite
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "partlint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "partlint:allow"))
+				name := ""
+				if len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, WaiverSite{File: pos.Filename, Line: pos.Line, Analyzer: name, Pos: c.Pos()})
+			}
+		}
+	}
+	return out
 }
 
 // IsTestFile reports whether the file at pos is a _test.go file. The

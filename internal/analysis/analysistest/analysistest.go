@@ -29,13 +29,28 @@ import (
 // diagnostics against the fixture's `// want` expectations.
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunWithSuite(t, a, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunWithSuite is Run with cross-package facts computed for every
+// analyzer in suite, not just the one under test: the pass's AllDepFacts
+// carries each suite member's dependency facts, mirroring what the vet
+// driver assembles from vetx files. waiverhygiene (which replays sibling
+// analyzers) and fixtures that exercise another analyzer's facts need
+// this; single-analyzer tests use Run.
+func RunWithSuite(t *testing.T, a *analysis.Analyzer, suite []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	ld := newLoader(t)
 	for _, pkg := range pkgs {
 		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
 			t.Helper()
 			p := ld.load(t, pkg)
-			depFacts := ld.depFacts(t, a, p)
-			pass := analysis.NewPass(a, ld.fset, p.files, p.pkg, p.info, pkg, depFacts)
+			all := map[string]map[string]analysis.ImportFacts{}
+			for _, member := range suite {
+				all[member.Name] = ld.depFacts(t, member, p)
+			}
+			pass := analysis.NewPass(a, ld.fset, p.files, p.pkg, p.info, pkg, all[a.Name])
+			pass.AllDepFacts = all
 			if err := a.Run(pass); err != nil {
 				t.Fatalf("analyzer %s: %v", a.Name, err)
 			}

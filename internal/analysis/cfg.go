@@ -1,0 +1,373 @@
+package analysis
+
+// This file is the per-function control-flow graph the interprocedural
+// analyzers share. The graph is built once per function body straight
+// from the AST (no SSA, no virtual registers — the taint and protocol
+// analyzers key their state on types.Object, so statement granularity is
+// enough) and over-approximates control flow: every path the program can
+// take is an edge path here, which is the property a may-analysis like
+// detertaint's taint propagation needs to stay sound.
+//
+// Shapes covered: if/else chains, for and range loops (with break,
+// continue, and labeled variants), switch and type-switch (including
+// fallthrough), select, goto, and returns. Panics and calls that never
+// return are treated as ordinary statements — the extra fallthrough edge
+// only widens the may-analysis.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFGBlock is one straight-line run of statements.
+type CFGBlock struct {
+	// Index is the block's position in CFG.Blocks (stable across runs —
+	// blocks are created in source order).
+	Index int
+	// Nodes holds the statements (and loop headers) executed in order.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*CFGBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *CFGBlock
+	// Exit is the single virtual exit block (returns and falling off the
+	// end both lead here). It holds no nodes.
+	Exit   *CFGBlock
+	Blocks []*CFGBlock
+}
+
+// cfgBuilder carries the break/continue/goto context during construction.
+type cfgBuilder struct {
+	cfg *CFG
+	// breakTo / continueTo are the innermost targets for unlabeled
+	// branch statements.
+	breakTo    *CFGBlock
+	continueTo *CFGBlock
+	// labels maps a label name to its break/continue targets while the
+	// labeled statement is being built, and gotoBlocks collects label →
+	// join block bindings for goto resolution.
+	labelBreak    map[string]*CFGBlock
+	labelContinue map[string]*CFGBlock
+	gotoBlocks    map[string]*CFGBlock
+	// pendingLabel is the label of the loop/switch statement about to be
+	// built, consumed by withLoop/switchClauses to bind labeled targets.
+	pendingLabel string
+}
+
+// BuildCFG constructs the control-flow graph of body. A nil body (an
+// external declaration) yields a graph whose entry is its exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:           &CFG{},
+		labelBreak:    map[string]*CFGBlock{},
+		labelContinue: map[string]*CFGBlock{},
+		gotoBlocks:    map[string]*CFGBlock{},
+	}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	if body == nil {
+		b.cfg.Exit = entry
+		return b.cfg
+	}
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	out := b.stmts(entry, body.List)
+	if out != nil {
+		b.edge(out, exit)
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	bl := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads a statement list through the graph, returning the block
+// where control continues (nil when every path diverges).
+func (b *cfgBuilder) stmts(cur *CFGBlock, list []ast.Stmt) *CFGBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminating statement still gets a
+			// block so its expressions are visited by analyses.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt adds one statement, returning the continuation block (nil if
+// control cannot fall through).
+func (b *cfgBuilder) stmt(cur *CFGBlock, s ast.Stmt) *CFGBlock {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		if out := b.stmts(thenB, s.Body.List); out != nil {
+			b.edge(out, join)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if out := b.stmt(elseB, s.Else); out != nil {
+				b.edge(out, join)
+			}
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		head := b.newBlock()
+		exit := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, exit)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		out := b.withLoop(exit, post, s, func() *CFGBlock {
+			return b.stmts(body, s.Body.List)
+		})
+		if out != nil {
+			b.edge(out, post)
+		}
+		return exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		exit := b.newBlock()
+		b.edge(cur, head)
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// assignment; analyses special-case it.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, exit)
+		body := b.newBlock()
+		b.edge(head, body)
+		out := b.withLoop(exit, head, s, func() *CFGBlock {
+			return b.stmts(body, s.Body.List)
+		})
+		if out != nil {
+			b.edge(out, head)
+		}
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchClauses(cur, s, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchClauses(cur, s, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		if name := b.pendingLabel; name != "" {
+			b.labelBreak[name] = join
+			b.pendingLabel = ""
+		}
+		saveBreak := b.breakTo
+		b.breakTo = join
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			bl := b.newBlock()
+			b.edge(cur, bl)
+			if cc.Comm != nil {
+				bl = b.stmt(bl, cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			if out := b.stmts(bl, cc.Body); out != nil {
+				b.edge(out, join)
+			}
+		}
+		b.breakTo = saveBreak
+		if len(s.Body.List) == 0 || hasDefault {
+			// An empty select blocks forever; a default gives fallthrough.
+			// Either way the join must stay reachable for analyses.
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.LabeledStmt:
+		join := b.newBlock()
+		b.edge(cur, join)
+		if g, ok := b.gotoBlocks[s.Label.Name]; ok {
+			// A goto seen earlier targeted this label: merge its block in.
+			b.edge(g, join)
+		}
+		b.gotoBlocks[s.Label.Name] = join
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			out := b.stmt(join, s.Stmt)
+			delete(b.labelBreak, s.Label.Name)
+			delete(b.labelContinue, s.Label.Name)
+			return out
+		default:
+			return b.stmt(join, s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t := b.labelBreak[s.Label.Name]; t != nil {
+					b.edge(cur, t)
+				}
+			} else if b.breakTo != nil {
+				b.edge(cur, b.breakTo)
+			}
+			return nil
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t := b.labelContinue[s.Label.Name]; t != nil {
+					b.edge(cur, t)
+				}
+			} else if b.continueTo != nil {
+				b.edge(cur, b.continueTo)
+			}
+			return nil
+		case token.GOTO:
+			if s.Label != nil {
+				t, ok := b.gotoBlocks[s.Label.Name]
+				if !ok {
+					// Forward goto: create the label's block now; the
+					// LabeledStmt links it when it appears.
+					t = b.newBlock()
+					b.gotoBlocks[s.Label.Name] = t
+				}
+				b.edge(cur, t)
+			}
+			return nil
+		}
+		// fallthrough is handled by switchClauses.
+		return cur
+
+	default:
+		// Plain statements: assignments, declarations, expression
+		// statements, sends, go/defer, inc/dec, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchClauses wires the case clauses of a switch/type-switch: every
+// clause is entered from the head (cases are evaluated in order, but for
+// a may-analysis the head→clause fan is enough), fallthrough chains to
+// the next clause's body, and a missing default adds a head→join edge.
+func (b *cfgBuilder) switchClauses(cur *CFGBlock, sw ast.Stmt, clauses []ast.Stmt, _ *CFGBlock) *CFGBlock {
+	join := b.newBlock()
+	if name := b.pendingLabel; name != "" {
+		b.labelBreak[name] = join
+		b.pendingLabel = ""
+	}
+	saveBreak := b.breakTo
+	b.breakTo = join
+	hasDefault := false
+	bodies := make([]*CFGBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		b.edge(cur, bodies[i])
+		out := b.stmts(bodies[i], stripFallthrough(cc.Body))
+		if out != nil {
+			if fallsThrough(cc.Body) && i+1 < len(clauses) {
+				b.edge(out, bodies[i+1])
+			} else {
+				b.edge(out, join)
+			}
+		}
+	}
+	b.breakTo = saveBreak
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func stripFallthrough(body []ast.Stmt) []ast.Stmt {
+	if fallsThrough(body) {
+		return body[:len(body)-1]
+	}
+	return body
+}
+
+// withLoop runs fn with the break/continue targets (and, when a label is
+// pending, the labeled targets) installed.
+func (b *cfgBuilder) withLoop(breakTo, continueTo *CFGBlock, _ ast.Stmt, fn func() *CFGBlock) *CFGBlock {
+	saveB, saveC := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = breakTo, continueTo
+	var name string
+	if name = b.pendingLabel; name != "" {
+		b.labelBreak[name] = breakTo
+		b.labelContinue[name] = continueTo
+		b.pendingLabel = ""
+	}
+	out := fn()
+	b.breakTo, b.continueTo = saveB, saveC
+	return out
+}

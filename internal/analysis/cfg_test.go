@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses a function body and returns its CFG.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// reachable walks the graph from entry.
+func reachable(c *CFG) map[*CFGBlock]bool {
+	seen := map[*CFGBlock]bool{}
+	var visit func(b *CFGBlock)
+	visit = func(b *CFGBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(c.Entry)
+	return seen
+}
+
+// nodeCount sums statements across reachable blocks.
+func nodeCount(c *CFG) int {
+	n := 0
+	for b := range reachable(c) {
+		n += len(b.Nodes)
+	}
+	return n
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFor(t, "x := 1\ny := x\n_ = y")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	if got := nodeCount(c); got != 3 {
+		t.Fatalf("nodes = %d, want 3", got)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	c := buildFor(t, "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// Both branch assignments plus the join statement must be reachable.
+	if got := nodeCount(c); got != 5 { // x:=1, cond, x=2, x=3, _=x
+		t.Fatalf("nodes = %d, want 5", got)
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	c := buildFor(t, "s := 0\nfor i := 0; i < 3; i++ {\n\ts += i\n}\n_ = s")
+	seen := reachable(c)
+	if !seen[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The loop body block must have a path back to a block containing the
+	// post statement (the back edge).
+	var bodyBlock *CFGBlock
+	for b := range seen {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == "+=" {
+				bodyBlock = b
+			}
+		}
+	}
+	if bodyBlock == nil {
+		t.Fatal("loop body not found")
+	}
+	if len(bodyBlock.Succs) == 0 {
+		t.Fatal("loop body has no successor (missing back edge)")
+	}
+}
+
+func TestCFGRangeHeadRepeats(t *testing.T) {
+	c := buildFor(t, "m := map[int]int{}\nt := 0\nfor k := range m {\n\tt += k\n}\n_ = t")
+	seen := reachable(c)
+	// Find the head block holding the RangeStmt; it must have two
+	// successors (body and exit).
+	var head *CFGBlock
+	for b := range seen {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("range head not found")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2", len(head.Succs))
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	c := buildFor(t, "x := 1\nif x > 0 {\n\treturn\n}\n_ = x")
+	seen := reachable(c)
+	if !seen[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	if got := nodeCount(c); got != 4 { // x:=1, cond, return, _=x
+		t.Fatalf("nodes = %d, want 4", got)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildFor(t, "x := 1\nswitch x {\ncase 1:\n\tx = 10\n\tfallthrough\ncase 2:\n\tx = 20\ndefault:\n\tx = 30\n}\n_ = x")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// All three case bodies and the join are reachable; fallthrough keeps
+	// x=20 reachable from case 1 as well.
+	if got := nodeCount(c); got < 7 {
+		t.Fatalf("nodes = %d, want >= 7", got)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildFor(t, "s := 0\nouter:\nfor i := 0; i < 3; i++ {\n\tfor j := 0; j < 3; j++ {\n\t\tif j == i {\n\t\t\tbreak outer\n\t\t}\n\t\ts++\n\t}\n}\n_ = s")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable after labeled break")
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	c := buildFor(t, "ch := make(chan int, 1)\nselect {\ncase v := <-ch:\n\t_ = v\ndefault:\n}\n_ = ch")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGGotoForwardAndBack(t *testing.T) {
+	c := buildFor(t, "x := 0\nloop:\nx++\nif x < 3 {\n\tgoto loop\n}\n_ = x")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	c := BuildCFG(nil)
+	if c.Entry != c.Exit {
+		t.Fatal("nil body should collapse entry and exit")
+	}
+}

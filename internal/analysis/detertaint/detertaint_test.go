@@ -1,0 +1,31 @@
+package detertaint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detertaint"
+)
+
+// TestDetertaintBasic covers sources, sanitizers, emission sinks, and
+// local summary chains.
+func TestDetertaintBasic(t *testing.T) {
+	analysistest.Run(t, detertaint.Analyzer, "taintbasic")
+}
+
+// TestDetertaintCrossEngine covers the PR-6 completion-bug shape: one
+// engine's clock scheduled on another engine.
+func TestDetertaintCrossEngine(t *testing.T) {
+	analysistest.Run(t, detertaint.Analyzer, "crossengine")
+}
+
+// TestDetertaintIngress covers the PR-8 ingress-ordering shape: grants
+// emitted while ranging a map, sink two hops down.
+func TestDetertaintIngress(t *testing.T) {
+	analysistest.Run(t, detertaint.Analyzer, "ingress")
+}
+
+// TestDetertaintFacts covers cross-package Taints/Sinks facts.
+func TestDetertaintFacts(t *testing.T) {
+	analysistest.Run(t, detertaint.Analyzer, "taintuse")
+}

@@ -1,0 +1,55 @@
+// Package crossengine is the PR-6 completion-bug fixture: a time read
+// from one engine's clock scheduled on a different engine through the
+// same-engine methods, with the sanctioned Post path, aliases, and
+// field-path receivers as negative and positive cases.
+package crossengine
+
+type Time int64
+
+type Engine struct{ now Time }
+
+func (e *Engine) Now() Time                                                { return e.now }
+func (e *Engine) At(at Time, fn func())                                    {}
+func (e *Engine) AtCall(at Time, fire func(Time, any), arg any)            {}
+func (e *Engine) Post(dst *Engine, at Time, fire func(Time, any), arg any) {}
+
+const lookahead = Time(5)
+
+// onAck is the bug shape: the responder's clock lands on the requester's
+// engine without crossing through Post.
+func onAck(req, resp *Engine) {
+	done := resp.Now() + 1
+	req.At(done, func() {}) // want "schedules on engine req at a time read from engine resp's clock"
+}
+
+// onLocal schedules on the clock's own engine: clean.
+func onLocal(req *Engine) {
+	done := req.Now() + 1
+	req.At(done, func() {})
+}
+
+// forward uses Post, the sanctioned cross-engine path: clean.
+func forward(src, dst *Engine) {
+	src.Post(dst, src.Now()+lookahead, nil, nil)
+}
+
+// aliased renames the same engine; an alias is not a different engine.
+func aliased(req *Engine) {
+	e := req
+	req.At(e.Now()+1, func() {})
+}
+
+// conn holds both sides of a completion, the shape the real bug lived
+// in: receivers are field paths, not locals.
+type conn struct {
+	req  *Engine
+	resp *Engine
+}
+
+func (c *conn) complete() {
+	c.req.At(c.resp.Now()+1, func() {}) // want "schedules on engine c.req at a time read from engine c.resp's clock"
+}
+
+func (c *conn) localComplete() {
+	c.req.At(c.req.Now()+1, func() {})
+}

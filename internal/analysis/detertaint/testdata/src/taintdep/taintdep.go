@@ -1,0 +1,31 @@
+// Package taintdep is the dependency side of the detertaint
+// cross-package fixture: Stamp and Span export Taints facts (Span's
+// source is a helper hop down, proving summaries compose), and Emit
+// exports a Sinks fact with its forwarded parameters.
+package taintdep
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Stamp returns the wall clock; its exported fact carries the taint.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Span hides the wall-clock read behind a local helper.
+func Span() int64 {
+	return spanImpl()
+}
+
+func spanImpl() int64 {
+	return time.Now().Unix()
+}
+
+// Emit writes a record; its exported fact is a sink forwarding both
+// parameters.
+func Emit(w io.Writer, v int) {
+	fmt.Fprintln(w, v)
+}

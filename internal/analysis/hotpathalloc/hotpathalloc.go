@@ -6,68 +6,177 @@
 // compile time — before a benchmark ever runs — by flagging the
 // constructs that make the compiler heap-allocate.
 //
+// The check is interprocedural: an un-annotated helper called (up to
+// maxInheritDepth calls deep) from a hot root inherits the allocation
+// budget, and cross-package callees are judged by the FuncFact summaries
+// their package exported through the vetx fact channel, so a helper
+// allocating on behalf of a hot caller is caught wherever it lives.
+// Propagation stops at functions annotated `//partib:coldpath` — the
+// documented budget boundary for barrier transitions, setup, and fatal
+// paths that are reachable from hot code but off the per-event path.
+//
 // A cold branch inside a hot function (a free-list miss, a fatal error
 // path) may waive a finding with a trailing `//partlint:allow
-// hotpathalloc` comment; the waiver is the documentation.
+// hotpathalloc` comment; the waiver is the documentation, and waived
+// sites do not propagate into the package's exported summaries.
 package hotpathalloc
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"repro/internal/analysis"
 )
 
-// Analyzer flags allocation-inducing constructs in annotated functions.
+// Analyzer flags allocation-inducing constructs in annotated functions
+// and in helpers reachable from them.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
 	Doc: "forbid allocation-inducing constructs (escaping composite literals, make/new, " +
 		"append growth, fmt calls, closures, interface boxing, string concatenation) " +
-		"in functions annotated //partib:hotpath",
+		"in functions annotated //partib:hotpath and in un-annotated helpers reachable " +
+		"from them (call-graph propagation, cross-package via facts)",
 	Run: run,
 }
 
-// annotation marks a function as part of the allocation-free hot path.
-const annotation = "//partib:hotpath"
+// maxInheritDepth bounds how many un-annotated call hops inherit the
+// budget from a hot root. Summaries are bounded the same way, keeping
+// `make lint` linear in the code size rather than the call-graph depth.
+const maxInheritDepth = 4
+
+// allocSite is one allocation-inducing construct; what completes the
+// sentence "<function> <what>".
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
 
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		if pass.IsTestFile(f) {
-			continue
+	g := analysis.BuildCallGraph(pass)
+
+	// Check every hot root: its own body at full precision, then the
+	// un-annotated helpers it reaches. A helper reached from several
+	// roots is reported once, for the first root in source order.
+	reported := map[*ast.FuncDecl]bool{}
+	for _, root := range g.Roots(func(fi *analysis.FuncInfo) bool { return fi.Hot }) {
+		for _, site := range allocSites(pass, root.Decl) {
+			pass.Reportf(site.pos, "hot path %s %s", root.Decl.Name.Name, site.what)
 		}
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHot(fd) {
-				continue
-			}
-			checkFunc(pass, fd)
-		}
+		checkReachable(pass, g, root, root.Decl, reported, maxInheritDepth)
 	}
+
+	exportSummaries(pass, g)
 	return nil
 }
 
-func isHot(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
+// checkReachable flags allocation sites in un-annotated same-package
+// helpers reachable from root, and cross-package callees whose exported
+// summary allocates.
+func checkReachable(pass *analysis.Pass, g *analysis.CallGraph, root *analysis.FuncInfo, fd *ast.FuncDecl, reported map[*ast.FuncDecl]bool, depth int) {
+	if depth == 0 {
+		return
 	}
-	for _, c := range fd.Doc.List {
-		if strings.TrimSpace(c.Text) == annotation {
-			return true
+	for _, c := range g.Callees(fd) {
+		if c.Local != nil {
+			// Hot callees are checked as their own roots; cold callees
+			// are the declared boundary.
+			if c.Local.Hot || c.Local.Cold || reported[c.Local.Decl] {
+				continue
+			}
+			reported[c.Local.Decl] = true
+			for _, site := range allocSites(pass, c.Local.Decl) {
+				pass.Reportf(site.pos, "helper %s (reachable from hot path %s) %s",
+					c.Local.Decl.Name.Name, root.Decl.Name.Name, site.what)
+			}
+			checkReachable(pass, g, root, c.Local.Decl, reported, depth-1)
+			continue
+		}
+		if fact, ok := g.DepFunc(c.PkgPath, c.Key); ok && fact.Allocates {
+			pass.Reportf(c.Call.Pos(), "hot path %s calls %s.%s, which allocates (%s); hoist it off the hot path or annotate the callee",
+				root.Decl.Name.Name, c.PkgPath, c.Key, fact.AllocWhat)
 		}
 	}
-	return false
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
+// exportSummaries publishes an Allocates fact for every exported
+// function, composed bottom-up: direct non-waived allocation sites, plus
+// depth-bounded propagation through local callees, plus dependency facts.
+// Hot and cold functions publish no allocation — hot bodies are checked
+// at home, cold ones are the declared boundary.
+func exportSummaries(pass *analysis.Pass, g *analysis.CallGraph) {
+	memo := map[*ast.FuncDecl]*analysis.FuncFact{}
+	var summarize func(fi *analysis.FuncInfo, depth int) analysis.FuncFact
+	summarize = func(fi *analysis.FuncInfo, depth int) analysis.FuncFact {
+		if f, ok := memo[fi.Decl]; ok {
+			return *f
+		}
+		f := &analysis.FuncFact{}
+		memo[fi.Decl] = f // breaks recursion cycles (optimistic: no alloc)
+		if fi.Hot || fi.Cold {
+			return *f
+		}
+		for _, site := range allocSites(pass, fi.Decl) {
+			if pass.WaivedAt(site.pos) {
+				continue
+			}
+			f.Allocates, f.AllocWhat = true, site.what
+			return *f
+		}
+		if depth == 0 {
+			return *f
+		}
+		for _, c := range g.Callees(fi.Decl) {
+			if c.Local != nil {
+				if c.Local.Hot || c.Local.Cold {
+					continue
+				}
+				if sub := summarize(c.Local, depth-1); sub.Allocates {
+					f.Allocates = true
+					f.AllocWhat = "calls " + c.Local.Decl.Name.Name + ", which " + sub.AllocWhat
+					return *f
+				}
+				continue
+			}
+			if fact, ok := g.DepFunc(c.PkgPath, c.Key); ok && fact.Allocates {
+				f.Allocates = true
+				f.AllocWhat = "calls " + c.Key + ", which allocates"
+				return *f
+			}
+		}
+		return *f
+	}
+
+	funcs := map[string]analysis.FuncFact{}
+	for _, fi := range g.Roots(func(fi *analysis.FuncInfo) bool { return fi.Key != "" }) {
+		if fact := summarize(fi, maxInheritDepth); fact.Allocates {
+			funcs[fi.Key] = fact
+		}
+	}
+	if len(funcs) > 0 {
+		if pass.ExportFacts == nil {
+			pass.ExportFacts = &analysis.ImportFacts{}
+		}
+		pass.ExportFacts.Funcs = funcs
+	}
+}
+
+// allocSites collects the allocation-inducing constructs in one function
+// body, in source order.
+func allocSites(pass *analysis.Pass, fd *ast.FuncDecl) []allocSite {
+	var sites []allocSite
+	if fd.Body == nil {
+		return nil
+	}
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, allocSite{pos: pos, what: what})
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "hot path %s takes the address of a composite literal, which escapes to the heap", name)
+					add(n.Pos(), "takes the address of a composite literal, which escapes to the heap")
 				}
 			}
 		case *ast.CompositeLit:
@@ -77,12 +186,12 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			}
 			switch t.Underlying().(type) {
 			case *types.Slice, *types.Map:
-				pass.Reportf(n.Pos(), "hot path %s builds a %s literal, which allocates its backing store", name, kindOf(t))
+				add(n.Pos(), "builds a "+kindOf(t)+" literal, which allocates its backing store")
 			}
 		case *ast.CallExpr:
-			checkCall(pass, name, n)
+			callSites(pass, n, add)
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "hot path %s defines a closure, which allocates its captures", name)
+			add(n.Pos(), "defines a closure, which allocates its captures")
 			return false // the closure body is cold until proven otherwise
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD {
@@ -91,17 +200,18 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				}
 				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
 					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						pass.Reportf(n.Pos(), "hot path %s concatenates strings, which allocates", name)
+						add(n.Pos(), "concatenates strings, which allocates")
 					}
 				}
 			}
 		case *ast.AssignStmt:
-			checkBoxingAssign(pass, name, n)
+			boxingAssignSites(pass, n, add)
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "hot path %s starts a goroutine, which allocates a stack", name)
+			add(n.Pos(), "starts a goroutine, which allocates a stack")
 		}
 		return true
 	})
+	return sites
 }
 
 func kindOf(t types.Type) string {
@@ -114,17 +224,17 @@ func kindOf(t types.Type) string {
 	return "composite"
 }
 
-func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+func callSites(pass *analysis.Pass, call *ast.CallExpr, add func(token.Pos, string)) {
 	// Builtins that allocate.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
 			case "make":
-				pass.Reportf(call.Pos(), "hot path %s calls make, which allocates", name)
+				add(call.Pos(), "calls make, which allocates")
 			case "new":
-				pass.Reportf(call.Pos(), "hot path %s calls new, which allocates", name)
+				add(call.Pos(), "calls new, which allocates")
 			case "append":
-				pass.Reportf(call.Pos(), "hot path %s calls append, which may grow the backing array", name)
+				add(call.Pos(), "calls append, which may grow the backing array")
 			}
 			return
 		}
@@ -133,17 +243,17 @@ func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if id, ok := sel.X.(*ast.Ident); ok {
 			if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
-				pass.Reportf(call.Pos(), "hot path %s calls fmt.%s, which allocates; use a pre-built value", name, sel.Sel.Name)
+				add(call.Pos(), "calls fmt."+sel.Sel.Name+", which allocates; use a pre-built value")
 				return
 			}
 		}
 	}
-	checkBoxingArgs(pass, name, call)
+	boxingArgSites(pass, call, add)
 }
 
-// checkBoxingArgs flags non-pointer concrete values passed to interface
+// boxingArgSites flags non-pointer concrete values passed to interface
 // parameters: the conversion copies the value to the heap.
-func checkBoxingArgs(pass *analysis.Pass, name string, call *ast.CallExpr) {
+func boxingArgSites(pass *analysis.Pass, call *ast.CallExpr, add func(token.Pos, string)) {
 	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return // type conversion or builtin
@@ -163,14 +273,14 @@ func checkBoxingArgs(pass *analysis.Pass, name string, call *ast.CallExpr) {
 			continue
 		}
 		if boxes(pass, pt, arg) {
-			pass.Reportf(arg.Pos(), "hot path %s boxes a value into interface parameter %d, which allocates", name, i)
+			add(arg.Pos(), "boxes a value into interface parameter "+itoa(i)+", which allocates")
 		}
 	}
 }
 
-// checkBoxingAssign flags assignments that box a concrete non-pointer
+// boxingAssignSites flags assignments that box a concrete non-pointer
 // value into an interface-typed location.
-func checkBoxingAssign(pass *analysis.Pass, name string, as *ast.AssignStmt) {
+func boxingAssignSites(pass *analysis.Pass, as *ast.AssignStmt, add func(token.Pos, string)) {
 	if as.Tok == token.DEFINE || len(as.Lhs) != len(as.Rhs) {
 		return
 	}
@@ -180,7 +290,7 @@ func checkBoxingAssign(pass *analysis.Pass, name string, as *ast.AssignStmt) {
 			continue
 		}
 		if boxes(pass, lt, as.Rhs[i]) {
-			pass.Reportf(as.Rhs[i].Pos(), "hot path %s boxes a value into an interface, which allocates", name)
+			add(as.Rhs[i].Pos(), "boxes a value into an interface, which allocates")
 		}
 	}
 }
@@ -207,4 +317,19 @@ func boxes(pass *analysis.Pass, dst types.Type, expr ast.Expr) bool {
 		return false
 	}
 	return true
+}
+
+// itoa avoids fmt on this non-hot but broadly-run path.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
 }

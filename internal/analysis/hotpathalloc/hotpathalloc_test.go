@@ -10,3 +10,10 @@ import (
 func TestHotpathAlloc(t *testing.T) {
 	analysistest.Run(t, hotpathalloc.Analyzer, "a")
 }
+
+// TestHotpathAllocInterprocedural exercises call-graph inheritance: un-
+// annotated helpers under hot roots, the //partib:coldpath boundary, the
+// depth bound, and cross-package allocation facts.
+func TestHotpathAllocInterprocedural(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "interproc")
+}

@@ -1,0 +1,74 @@
+// Package interproc is a hotpathalloc fixture for call-graph
+// propagation: un-annotated helpers inherit the budget from hot roots,
+// //partib:coldpath stops the walk, the depth bound limits it, and a
+// cross-package callee is judged by its exported summary.
+package interproc
+
+import "interprochelper"
+
+type engine struct {
+	scratch []int
+	stash   *int
+}
+
+//partib:hotpath
+func (e *engine) fire(n int) {
+	e.stage(n) // the helper inherits the budget from this root
+	e.teardown(n)
+	e.chain1(n)
+	e.remote(n)
+}
+
+// stage is un-annotated but reachable from the hot root fire, so its
+// allocations are charged to the budget.
+func (e *engine) stage(n int) {
+	e.scratch = append(e.scratch, n) // want "helper stage \(reachable from hot path fire\) calls append"
+	v := n
+	e.stash = &v
+	e.deeper(n)
+}
+
+// deeper is two hops from the root — still inside the depth bound.
+func (e *engine) deeper(n int) {
+	m := make([]int, n) // want "helper deeper \(reachable from hot path fire\) calls make"
+	_ = m
+}
+
+// teardown is the declared budget boundary: reachable from hot code but
+// off the per-event path, so nothing below it is charged.
+//
+//partib:coldpath
+func (e *engine) teardown(n int) {
+	buf := make([]int, n) // a coldpath function may allocate freely
+	_ = buf
+	e.coldHelper(n)
+}
+
+// coldHelper is only reachable through the coldpath boundary.
+func (e *engine) coldHelper(n int) {
+	s := []int{n} // unreachable from any hot root: not charged
+	_ = s
+}
+
+// chain1..chain5 are a call chain longer than the inheritance depth
+// bound; the allocation at its end is out of range and not charged.
+func (e *engine) chain1(n int) { e.chain2(n) }
+func (e *engine) chain2(n int) { e.chain3(n) }
+func (e *engine) chain3(n int) { e.chain4(n) }
+func (e *engine) chain4(n int) { e.chain5(n) }
+func (e *engine) chain5(n int) {
+	s := make([]int, n) // beyond maxInheritDepth: silently out of budget
+	_ = s
+}
+
+// remote calls into another package; the callee's exported FuncFact
+// summary says it allocates, so the call site is flagged here.
+func (e *engine) remote(n int) {
+	interprochelper.Grow(nil, n) // want "calls interprochelper.Grow, which allocates"
+	_ = interprochelper.Size(n)  // Size is allocation-free: no finding
+}
+
+// never is not reachable from any hot root; it allocates in peace.
+func (e *engine) never(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,26 @@
+// Package interprochelper is the dependency side of the hotpathalloc
+// cross-package fixture: Grow's exported summary says it allocates (via
+// its own helper, proving summaries compose), Size's says it does not,
+// and Waived's allocation is waived in place so it must NOT propagate.
+package interprochelper
+
+// Grow allocates through a local helper, so its exported fact is
+// Allocates=true with the helper chain in the description.
+func Grow(s []int, n int) []int {
+	return growImpl(s, n)
+}
+
+func growImpl(s []int, n int) []int {
+	return append(s, make([]int, n)...)
+}
+
+// Size is pure arithmetic; its summary must stay allocation-free.
+func Size(n int) int {
+	return n * 2
+}
+
+// Waived allocates, but the site carries a waiver: the waiver accepts
+// the cost for callers too, so the summary must stay clean.
+func Waived(n int) []int {
+	return make([]int, n) //partlint:allow hotpathalloc fixture: amortized
+}

@@ -22,9 +22,12 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/callbackblock"
+	"repro/internal/analysis/detertaint"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/nopanic"
+	"repro/internal/analysis/shardsafety"
 	"repro/internal/analysis/simdeterminism"
+	"repro/internal/analysis/waiverhygiene"
 	"repro/internal/analysis/xportgate"
 )
 
@@ -56,6 +59,22 @@ var simReachable = map[string]bool{
 	"repro/internal/trace": true,
 }
 
+// eventCallback extends the determinism-taint scope beyond simReachable
+// to the transport and measurement layers whose event callbacks feed the
+// engines: the PR-6 completion bug lived in the ibv completion queue,
+// outside the simdeterminism scope.
+var eventCallback = map[string]bool{
+	"repro/internal/ibv":         true,
+	"repro/internal/ucx":         true,
+	"repro/internal/xport":       true,
+	"repro/internal/xport/shm":   true,
+	"repro/internal/netgauge":    true,
+	"repro/internal/experiments": true,
+	"repro/internal/coll":        true,
+	"repro/internal/pt2pt":       true,
+	"repro/internal/mpipcl":      true,
+}
+
 // typedError lists the packages under the typed-error contract
 // (see internal/core/errors.go).
 var typedError = map[string]bool{
@@ -66,13 +85,22 @@ var typedError = map[string]bool{
 }
 
 // Checks returns the full partlint suite with scope rules, in a stable
-// order.
+// order. waiverhygiene comes last and replays the others: it is built
+// from the same Check entries, so its notion of "would this waiver's
+// diagnostic fire" always matches the suite actually run.
 func Checks() []Check {
-	return []Check{
+	checks := []Check{
 		{Analyzer: hotpathalloc.Analyzer, Applies: allRepro},
 		{Analyzer: simdeterminism.Analyzer, Applies: func(p string) bool { return simReachable[p] }},
+		{Analyzer: detertaint.Analyzer, Applies: func(p string) bool { return simReachable[p] || eventCallback[p] }},
+		{Analyzer: shardsafety.Analyzer, Applies: allRepro},
 		{Analyzer: xportgate.Analyzer, Applies: allRepro},
 		{Analyzer: nopanic.Analyzer, Applies: func(p string) bool { return typedError[p] }},
 		{Analyzer: callbackblock.Analyzer, Applies: allRepro},
 	}
+	siblings := make([]waiverhygiene.Sibling, len(checks))
+	for i, c := range checks {
+		siblings[i] = waiverhygiene.Sibling{Analyzer: c.Analyzer, Applies: c.Applies}
+	}
+	return append(checks, Check{Analyzer: waiverhygiene.New(siblings), Applies: allRepro})
 }

@@ -1,0 +1,12 @@
+package shardsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardsafety"
+)
+
+func TestShardProto(t *testing.T) {
+	analysistest.Run(t, shardsafety.Analyzer, "shardproto")
+}

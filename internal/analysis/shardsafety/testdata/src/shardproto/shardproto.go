@@ -1,0 +1,187 @@
+// Package shardproto is the shard-protocol fixture: a miniature of the
+// ShardSet mailbox/claim-gate runtime with the PR-7 race shapes as
+// positive cases — a consumer reading the live producer buffer, a
+// cross-role mailbox write smuggled through an un-annotated helper, and
+// a claim-gate CAS comparing a value loaded outside its retry loop —
+// next to the correct protocol shapes as negatives.
+package shardproto
+
+import "sync/atomic"
+
+type Time int64
+
+const timeInf = Time(1<<62 - 1)
+
+type post struct{ at Time }
+
+// mailbox mirrors the real SPSC mailbox: the producer appends to buf,
+// the transition thread freezes buf into sealed behind the finish
+// barrier, and the consumer drains only the sealed snapshot.
+type mailbox struct {
+	// buf is the producer-side append buffer.
+	//
+	//partib:guard write=producer,transition read=producer,transition
+	buf []post
+	// sealed is the frozen snapshot the consumer drains.
+	//
+	//partib:guard write=transition read=consumer,transition
+	sealed []post
+	// minAt is the earliest pending time, read for lookahead bounds.
+	//
+	//partib:guard write=producer,transition read=producer,transition
+	minAt Time
+}
+
+type set struct {
+	mail []mailbox
+	// claims is the shared claim cursor.
+	//
+	//partib:atomic
+	claims atomic.Int64
+	// raw is a plain shared word, touched from several workers.
+	//
+	//partib:atomic
+	raw int64
+}
+
+//partib:role producer
+func (s *set) post(i int, at Time) {
+	mb := &s.mail[i]
+	mb.buf = append(mb.buf, post{at: at})
+	if at < mb.minAt {
+		mb.minAt = at
+	}
+}
+
+//partib:role transition
+func (s *set) seal(i int) {
+	mb := &s.mail[i]
+	mb.sealed = mb.buf
+	mb.minAt = timeInf
+}
+
+//partib:role consumer
+func (s *set) drain(i int) int {
+	n := 0
+	for range s.mail[i].sealed {
+		n++
+	}
+	return n
+}
+
+// badDrain is PR-7 race shape 1: the consumer reads the live buffer
+// instead of the sealed snapshot, racing the producer's append.
+//
+//partib:role consumer
+func (s *set) badDrain(i int) int {
+	return len(s.mail[i].buf) // want "read of guarded field buf from role consumer"
+}
+
+// sneak is PR-7 race shape 2: a consumer-path function writes the
+// mailbox through an un-annotated helper, which inherits the role.
+//
+//partib:role consumer
+func (s *set) sneak(i int, at Time) {
+	s.helperWrite(i, at)
+}
+
+func (s *set) helperWrite(i int, at Time) {
+	s.mail[i].buf = append(s.mail[i].buf, post{at: at}) // want "write to guarded field buf from role consumer" "read of guarded field buf from role consumer"
+}
+
+// postAll shows inheritance going the right way: append1 inherits
+// producer from its only caller and stays clean.
+//
+//partib:role producer
+func (s *set) postAll(at Time) {
+	for i := range s.mail {
+		s.append1(i, at)
+	}
+}
+
+func (s *set) append1(i int, at Time) {
+	s.mail[i].buf = append(s.mail[i].buf, post{at: at})
+}
+
+// reset is un-annotated (a constructor-style helper with no callers):
+// no roles, so guarded-field access is unchecked.
+func (s *set) reset(i int) {
+	s.mail[i].buf = nil
+	s.mail[i].sealed = nil
+	s.mail[i].minAt = timeInf
+}
+
+// tryClaim is the correct claim gate: the expected value is reloaded
+// inside the retry loop.
+func (s *set) tryClaim(bound int64) bool {
+	for {
+		cur := s.claims.Load()
+		if cur >= bound {
+			return false
+		}
+		if s.claims.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// staleClaim is PR-7 race shape 3: the load is hoisted above the retry
+// loop, so a failed CAS retries against a stale value.
+func (s *set) staleClaim(bound int64) bool {
+	cur := s.claims.Load()
+	for cur < bound {
+		if s.claims.CompareAndSwap(cur, cur+1) { // want "CompareAndSwap compares cur, which was loaded outside the retry loop"
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot copies the atomic by value: the copy is a private word, not
+// the shared one.
+func (s *set) snapshot() int64 {
+	c := s.claims // want "copy of //partib:atomic field claims by value"
+	return c.Load()
+}
+
+// clobber overwrites the atomic wholesale instead of using Store.
+func (s *set) clobber(v atomic.Int64) {
+	s.claims = v // want "overwrite of //partib:atomic field claims"
+}
+
+// rawDirect touches the plain annotated word without sync/atomic.
+func (s *set) rawDirect() int64 {
+	return s.raw // want "non-atomic access to //partib:atomic field raw"
+}
+
+// rawStore writes it directly.
+func (s *set) rawStore(v int64) {
+	s.raw = v // want "non-atomic access to //partib:atomic field raw"
+}
+
+// rawAtomic goes through sync/atomic: clean.
+func (s *set) rawAtomic(v int64) int64 {
+	atomic.StoreInt64(&s.raw, v)
+	return atomic.LoadInt64(&s.raw)
+}
+
+// rawCAS uses the package-function CAS form with an in-loop reload:
+// clean.
+func (s *set) rawCAS(v int64) {
+	for {
+		cur := atomic.LoadInt64(&s.raw)
+		if atomic.CompareAndSwapInt64(&s.raw, cur, v) {
+			return
+		}
+	}
+}
+
+// rawStaleCAS hoists the package-function load out of the loop.
+func (s *set) rawStaleCAS(v int64) {
+	cur := atomic.LoadInt64(&s.raw)
+	for {
+		if atomic.CompareAndSwapInt64(&s.raw, cur, v) { // want "CompareAndSwap compares cur, which was loaded outside the retry loop"
+			return
+		}
+	}
+}

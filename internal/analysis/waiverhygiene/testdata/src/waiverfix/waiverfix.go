@@ -1,0 +1,31 @@
+// Package waiverfix exercises waiver hygiene: a live waiver (the
+// suppressed diagnostic still fires), a stale one left behind by a
+// refactor, a typo'd analyzer name, and a self-waiver.
+package waiverfix
+
+// hot keeps a live waiver: the append below still fires hotpathalloc.
+//
+//partib:hotpath
+func hot(xs []int, v int) []int {
+	return append(xs, v) //partlint:allow hotpathalloc amortized growth
+}
+
+// cold carries a leftover waiver: hotpathalloc never fires on an
+// un-annotated function.
+func cold() int {
+	x := 1 //partlint:allow hotpathalloc leftover from refactor // want "stale waiver: no hotpathalloc diagnostic fires on this line anymore"
+	return x
+}
+
+// typo names an analyzer that does not exist, so it suppresses nothing.
+//
+//partib:hotpath
+func typo(n int) []int {
+	return make([]int, n) //partlint:allow hotpathaloc misspelled // want "waiver names unknown analyzer"
+}
+
+// hush tries to waive the waiver checker itself.
+func hush() int {
+	y := 2 //partlint:allow waiverhygiene quiet // want "waiverhygiene findings cannot be waived"
+	return y
+}

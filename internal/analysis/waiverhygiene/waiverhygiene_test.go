@@ -1,0 +1,14 @@
+package waiverhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/waiverhygiene"
+)
+
+func TestWaiverFix(t *testing.T) {
+	a := waiverhygiene.New([]waiverhygiene.Sibling{{Analyzer: hotpathalloc.Analyzer}})
+	analysistest.Run(t, a, "waiverfix")
+}

@@ -401,7 +401,7 @@ func (a *adaptiveState) histogram() int {
 // paper's Figure 12 estimates offline.
 func (a *adaptiveState) laggardTail() time.Duration {
 	s := a.groupScratch[:0]
-	s = append(s, a.hist...) //partlint:allow hotpathalloc cold path, appends into pre-sized scratch
+	s = append(s, a.hist...)
 	insertionSort(s)
 	d := minAdaptiveDelta
 	if n := len(s); n >= 2 {
@@ -459,7 +459,7 @@ func (a *adaptiveState) scoreGrouping(transport int) time.Duration {
 				post = a.hist[i]
 			}
 		}
-		wrs = append(wrs, post+send) //partlint:allow hotpathalloc cold decision path, appends into pre-sized scratch
+		wrs = append(wrs, post+send)
 	}
 	return drainTime(wrs, p.Or)
 }
@@ -490,10 +490,10 @@ func (a *adaptiveState) scoreTimer(transport int, delta time.Duration) time.Dura
 		if early == gs && last < post {
 			post = last
 		}
-		wrs = append(wrs, post+p.Os+p.ByteTime(early*a.partBytes-1)+p.L) //partlint:allow hotpathalloc cold decision path, appends into pre-sized scratch
+		wrs = append(wrs, post+p.Os+p.ByteTime(early*a.partBytes-1)+p.L)
 		// Stragglers: one WR each at their own arrival.
 		for _, o := range offs[early:] {
-			wrs = append(wrs, o+p.Os+p.ByteTime(a.partBytes-1)+p.L) //partlint:allow hotpathalloc cold decision path, appends into pre-sized scratch
+			wrs = append(wrs, o+p.Os+p.ByteTime(a.partBytes-1)+p.L)
 		}
 	}
 	return drainTime(wrs, p.Or)

@@ -41,6 +41,8 @@ func (r *Resource) Queued() int { return len(r.queue) - r.head }
 func (r *Resource) Peak() int { return r.peak }
 
 // Acquire obtains a server, parking the proc FIFO if none is free.
+//
+//partib:hotpath
 func (r *Resource) Acquire(p *Proc) {
 	if p.e != r.e {
 		// See Cond.Wait: a cross-engine park would be a cross-shard race.
@@ -53,6 +55,15 @@ func (r *Resource) Acquire(p *Proc) {
 		}
 		return
 	}
+	r.acquireSlow(p)
+}
+
+// acquireSlow parks the proc behind the FIFO. Off the per-event budget:
+// the proc is about to block anyway, and the queue's backing array is
+// reused across drains (see the queue field comment).
+//
+//partib:coldpath
+func (r *Resource) acquireSlow(p *Proc) {
 	r.queue = append(r.queue, p)
 	p.park("waiting for resource")
 }

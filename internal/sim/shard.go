@@ -79,15 +79,26 @@ type post struct {
 // intact). The next transition drops the delivered prefix. Buffers are
 // reused hop over hop, so steady-state posting does not allocate.
 type mailbox struct {
-	buf    []post
+	// buf is the producer-side append buffer; the transition compacts it
+	// after delivery.
+	//
+	//partib:guard write=producer,transition read=producer,transition
+	buf []post
+	// sealed is the frozen pre-hop snapshot the consumer drains.
+	//
+	//partib:guard write=transition read=consumer,transition
 	sealed []post
 	// minAt is the smallest unsealed timestamp (timeInf when none),
 	// maintained by the producer and reset when the transition seals. The
 	// hop transition reads it — after the finish barrier, so the value is
 	// frozen — to fold posts that have not been delivered yet into the
 	// destination's seed.
+	//
+	//partib:guard write=producer,transition read=producer,transition
 	minAt Time
 	// sent counts posts over the whole run, for ShardStats.
+	//
+	//partib:guard write=producer read=producer
 	sent uint64
 }
 
@@ -95,7 +106,8 @@ type mailbox struct {
 // they spin briefly on the hop counter and fall back to a buffered wake
 // channel, so a hop costs no goroutine churn.
 type worker struct {
-	wake   chan struct{}
+	wake chan struct{}
+	//partib:atomic
 	parked atomic.Bool
 }
 
@@ -149,10 +161,14 @@ type ShardSet struct {
 	// mid-transition the gate reads zero, and any nonzero bound it reads
 	// was stored after the engaged writes it orders (atomics are
 	// sequentially consistent).
+	//
+	//partib:atomic
 	nclaims atomic.Int64
 
 	// tmin is the lock-free global next-event reduction: workers CAS their
 	// shard's published next-event time into it as they finish a hop.
+	//
+	//partib:atomic
 	tmin atomic.Int64
 
 	// hop increments at every hop release; participants wait on it. claim
@@ -160,10 +176,15 @@ type ShardSet struct {
 	// overshooting, so a late claim after a reset simply joins the new hop
 	// — there is no stale-window race). finished counts engaged shards
 	// completed this hop; the last one runs the transition.
-	hop      atomic.Uint64
-	claim    atomic.Int64
+	//
+	//partib:atomic
+	hop atomic.Uint64
+	//partib:atomic
+	claim atomic.Int64
+	//partib:atomic
 	finished atomic.Int64
-	done     atomic.Bool
+	//partib:atomic
+	done atomic.Bool
 
 	coordinator worker
 	fleet       []*worker
@@ -364,6 +385,7 @@ func (s *ShardSet) Stats() ShardStats {
 // reach src no earlier than that, and nothing else bounds src when every
 // other shard is idle.
 //partib:hotpath
+//partib:role producer
 func (s *ShardSet) post(src, dst int, at Time, fire func(Time, any), arg any) {
 	if at < s.endOf[dst] {
 		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead (window of shard %d ends %v)", at, dst, s.endOf[dst])) //partlint:allow hotpathalloc fatal lookahead violation
@@ -392,6 +414,7 @@ func (s *ShardSet) post(src, dst int, at Time, fire func(Time, any), arg any) {
 // consumer performs only reads here, so producers appending same-hop posts
 // past the snapshots never race with it.
 //partib:hotpath
+//partib:role consumer
 func (s *ShardSet) drainInto(dst int) {
 	e := s.engines[dst]
 	for src := range s.engines {
@@ -407,6 +430,8 @@ func (s *ShardSet) drainInto(dst int) {
 // about to open. Runs on the transition thread only, behind the finish
 // barrier; producers resume appending past the snapshot once the hop is
 // released.
+//
+//partib:role transition
 func (s *ShardSet) seal(dst int) {
 	for src := range s.engines {
 		mb := &s.mail[src][dst]
@@ -420,6 +445,7 @@ func (s *ShardSet) seal(dst int) {
 // snapshots, and whatever producers appended past a snapshot slides to the
 // front for the next seal. Runs on the transition thread only, before
 // seeds are recomputed, so undelivered-post minima stay consistent.
+//partib:role transition
 func (s *ShardSet) cleanupDrained() {
 	for dst := range s.engines {
 		for src := range s.engines {
@@ -487,6 +513,7 @@ func atomicMinTime(m *atomic.Int64, at Time) {
 // when it is the last engaged shard to finish — perform the hop
 // transition in place.
 //partib:hotpath
+//partib:role consumer
 func (s *ShardSet) runShard(i int) {
 	e := s.engines[i]
 	s.drainInto(i)
@@ -512,6 +539,7 @@ func (s *ShardSet) runShard(i int) {
 // hop) either reads the zeroed gate and leaves, or reads the new bound —
 // published after the new engaged set — and simply joins the new hop.
 //partib:hotpath
+//partib:role consumer
 func (s *ShardSet) claimLoop() {
 	for {
 		c := s.claim.Load()
@@ -529,6 +557,7 @@ func (s *ShardSet) claimLoop() {
 // undrained mailbox minima into seeds, and returns the number of shards
 // with any future firing. Runs only on the transition thread, behind the
 // finish barrier.
+//partib:role transition
 func (s *ShardSet) computeSeeds() (active int) {
 	for i := range s.engines {
 		seed := s.nextSlot[i]
@@ -551,6 +580,7 @@ func (s *ShardSet) computeSeeds() (active int) {
 // firing, relayed along lookahead shortest paths); a shard's own future
 // emissions are excluded here and covered at run time by the dynamic
 // self-cap in post. March mode: the uniform global window [Tmin, Tmin+λ).
+//partib:role transition
 func (s *ShardSet) computeBounds() {
 	n := len(s.engines)
 	if !s.skipAhead {
@@ -594,7 +624,12 @@ func (s *ShardSet) computeBounds() {
 // serializes invocations, so it may use plain fields. Responsibilities:
 // error and completion detection, seed/bound computation, the engaged-set
 // selection (with stall accounting), inline execution of single-engaged
-// hops, and the release of the next fleet hop.
+// hops, and the release of the next fleet hop. It runs once per hop, not
+// per event, so it is the allocation-budget boundary: the engaged-set
+// append below reuses the slice's backing array across hops.
+//
+//partib:coldpath
+//partib:role transition
 func (s *ShardSet) transition(afterHop bool) {
 	// Close the claim gate before touching any hop state: from here until
 	// releaseHop republishes the bound, no participant can claim.
@@ -663,6 +698,7 @@ func (s *ShardSet) transition(afterHop bool) {
 }
 
 // runSolo executes one inline hop of shard i on the transition thread.
+//partib:role transition
 func (s *ShardSet) runSolo(i int) {
 	e := s.engines[i]
 	s.drainInto(i)
@@ -687,6 +723,7 @@ func (s *ShardSet) runSolo(i int) {
 // itself, and waking more workers than there are claimable shards is
 // pure wake/park churn. Fewer awake workers than engaged shards is safe:
 // claims are work-stealing, so whoever is awake drains the surplus.
+//partib:role transition
 func (s *ShardSet) releaseHop(engagedShards int) {
 	s.finished.Store(0)
 	s.tmin.Store(int64(timeInf))
